@@ -1,0 +1,59 @@
+"""Ablation: block size sweep.
+
+The external-memory model charges one I/O per block of size B.  Larger
+blocks make sequential scans cheaper (fewer I/Os for the same bytes) but
+inflate the cost of SemiCore*'s scattered late-iteration reads relative
+to their useful payload.  This sweep quantifies the trade-off the paper's
+I/O numbers implicitly fix at one disk page.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_count
+from repro.core.semicore import semi_core
+from repro.core.semicore_star import semi_core_star
+from repro.datasets.registry import generate_dataset
+from repro.storage.graphstore import GraphStorage
+
+from benchmarks.conftest import BENCH_SCALE, once
+
+BLOCK_SIZES = [512, 1024, 4096, 16384]
+_CELLS = {}
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_block_size_sweep(benchmark, results, block_size):
+    edges, n = generate_dataset("lj", scale=BENCH_SCALE)
+    storage = GraphStorage.from_edges(edges, n, block_size=block_size)
+    storage.io_stats.reset()
+    outcome = {}
+
+    def run():
+        outcome["base"] = semi_core(
+            GraphStorage.from_edges(edges, n, block_size=block_size))
+        outcome["star"] = semi_core_star(
+            GraphStorage.from_edges(edges, n, block_size=block_size))
+
+    once(benchmark, run)
+    base, star = outcome["base"], outcome["star"]
+    assert list(base.cores) == list(star.cores)
+    ratio = base.io.read_ios / max(1, star.io.read_ios)
+    _CELLS[block_size] = (base.io.read_ios, star.io.read_ios)
+    results.add(
+        "Ablation: block size (LJ proxy)",
+        block_size=block_size,
+        semicore_reads=format_count(base.io.read_ios),
+        semicore_star_reads=format_count(star.io.read_ios),
+        star_advantage="%.1fx" % ratio,
+    )
+    assert star.io.read_ios <= base.io.read_ios
+
+
+def test_block_size_scaling_shape(benchmark, results):
+    """Scan-dominated SemiCore I/O shrinks ~linearly with block size."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_CELLS) < 2:
+        pytest.skip("sweep cells did not run")
+    sizes = sorted(_CELLS)
+    for small, large in zip(sizes, sizes[1:]):
+        assert _CELLS[large][0] < _CELLS[small][0]

@@ -1,0 +1,63 @@
+"""Ablation: EMCore under a shrinking memory budget (A1 discussion).
+
+The paper's core criticism of EMCore: the budget only controls the
+*intent*; when ``ku`` drops, nearly every partition holds a candidate
+node, so the peak resident bytes stay near the full graph no matter how
+small the budget is, while smaller budgets add rounds and write I/Os.
+SemiCore*'s O(n) footprint is printed alongside for contrast.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_bytes, format_count
+from repro.core.emcore import em_core
+from repro.core.semicore_star import semi_core_star
+from repro.datasets.registry import generate_dataset
+from repro.storage.graphstore import GraphStorage
+
+from benchmarks.conftest import BENCH_SCALE, once
+
+BUDGET_FRACTIONS = [1.0, 0.25, 0.05]
+_PEAKS = {}
+
+
+@pytest.mark.parametrize("fraction", BUDGET_FRACTIONS)
+def test_emcore_budget(benchmark, results, fraction):
+    edges, n = generate_dataset("cpt", scale=BENCH_SCALE)
+    storage = GraphStorage.from_edges(edges, n)
+    edge_bytes = storage.num_arcs * 4
+    budget = max(4096, int(edge_bytes * fraction))
+    outcome = {}
+
+    def run():
+        fresh = GraphStorage.from_edges(edges, n)
+        outcome["em"] = em_core(fresh, memory_budget_bytes=budget,
+                                partition_arcs=max(256, n // 8))
+
+    once(benchmark, run)
+    em = outcome["em"]
+    star = semi_core_star(GraphStorage.from_edges(edges, n))
+    assert list(em.cores) == list(star.cores)
+    peak_loaded = em.model_memory_bytes - 12 * n
+    _PEAKS[fraction] = (budget, peak_loaded, em.iterations)
+    results.add(
+        "Ablation: EMCore memory budget (CPT proxy)",
+        budget_fraction="%.0f%%" % (fraction * 100),
+        budget=format_bytes(budget),
+        emcore_peak_loaded=format_bytes(peak_loaded),
+        emcore_rounds=em.iterations,
+        emcore_write_ios=format_count(em.io.write_ios),
+        semicore_star_memory=format_bytes(star.model_memory_bytes),
+    )
+    assert star.model_memory_bytes < em.model_memory_bytes
+
+
+def test_budget_cannot_bound_peak(benchmark, results):
+    """The A1 claim: the smallest budget still loads most of the graph."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_PEAKS) < len(BUDGET_FRACTIONS):
+        pytest.skip("sweep cells did not run")
+    tight_budget, tight_peak, tight_rounds = _PEAKS[0.05]
+    loose_budget, loose_peak, loose_rounds = _PEAKS[1.0]
+    assert tight_peak > tight_budget          # bound violated
+    assert tight_rounds >= loose_rounds       # and extra rounds paid

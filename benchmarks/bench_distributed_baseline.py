@@ -1,0 +1,45 @@
+"""Extension bench: Montresor et al. [23] vs the paper's sweeps.
+
+The locality fixpoint can be evaluated with synchronous rounds (the
+distributed algorithm the paper builds on) or with in-scan Gauss-Seidel
+updates (SemiCore).  The round counts quantify how much the paper gains
+just from evaluating Eq. 1 against already-updated values during the
+scan -- before any of the SemiCore+/SemiCore* pruning.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_count, format_seconds
+from repro.core.distributed import distributed_core
+from repro.core.semicore import semi_core
+from repro.core.semicore_star import semi_core_star
+
+from benchmarks.conftest import load_bench_dataset, once
+
+DATASETS = ["dblp", "twitter", "uk"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_distributed_vs_semicore(benchmark, results, dataset):
+    outcome = {}
+
+    def run():
+        outcome["sync"] = distributed_core(load_bench_dataset(dataset))
+        outcome["sweep"] = semi_core(load_bench_dataset(dataset))
+        outcome["star"] = semi_core_star(load_bench_dataset(dataset))
+
+    once(benchmark, run)
+    sync, sweep, star = outcome["sync"], outcome["sweep"], outcome["star"]
+    assert list(sync.cores) == list(sweep.cores) == list(star.cores)
+    results.add(
+        "Extension: distributed rounds vs semi-external sweeps",
+        dataset=dataset,
+        distributed_rounds=sync.iterations,
+        semicore_iterations=sweep.iterations,
+        semicore_star_iterations=star.iterations,
+        distributed_messages=format_count(sync.messages),
+        distributed_time=format_seconds(sync.elapsed_seconds),
+        semicore_star_time=format_seconds(star.elapsed_seconds),
+    )
+    # Synchronous rounds never beat in-scan updates.
+    assert sync.iterations >= sweep.iterations

@@ -1,0 +1,42 @@
+"""Table I: dataset statistics (|V|, |E|, density, kmax).
+
+The paper's Table I lists the 12 real graphs; this bench regenerates the
+same columns for the synthetic proxies, next to the published values, so
+the scale factor between proxy and original is explicit.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_count
+from repro.core.semicore_star import semi_core_star
+from repro.datasets.registry import dataset_names, get_spec
+
+from benchmarks.conftest import load_bench_dataset, once
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_table1_row(benchmark, results, name):
+    spec = get_spec(name)
+    storage = load_bench_dataset(name)
+    outcome = {}
+
+    def run():
+        outcome["result"] = semi_core_star(storage)
+
+    once(benchmark, run)
+    result = outcome["result"]
+    n, m = storage.num_nodes, storage.num_edges
+    results.add(
+        "Table I (dataset statistics)",
+        dataset=name,
+        group=spec.group,
+        nodes=format_count(n),
+        edges=format_count(m),
+        density="%.2f" % (m / n if n else 0.0),
+        kmax=result.kmax,
+        paper_nodes=format_count(spec.paper.nodes),
+        paper_edges=format_count(spec.paper.edges),
+        paper_density="%.2f" % spec.paper.density,
+        paper_kmax=spec.paper.kmax,
+    )
+    assert result.kmax > 0

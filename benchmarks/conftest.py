@@ -1,0 +1,82 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every module regenerates one table or figure of the paper.  Graphs are
+the registry proxies, built once into a file-backed cache so the runs
+measure real block I/O.  ``REPRO_BENCH_SCALE`` scales every proxy (e.g.
+``REPRO_BENCH_SCALE=0.3 pytest benchmarks/``); results are printed as
+paper-style tables and appended to ``benchmarks/results/*.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.reporting import format_table, save_results
+from repro.datasets.registry import load_dataset
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+CACHE_DIR = os.environ.get(
+    "REPRO_BENCH_CACHE",
+    os.path.join(os.path.dirname(__file__), ".graph_cache"),
+)
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def load_bench_dataset(name, scale_mult=1.0):
+    """Open a file-backed dataset proxy, with fresh I/O counters."""
+    storage = load_dataset(name, scale=BENCH_SCALE * scale_mult,
+                           cache_dir=CACHE_DIR)
+    storage.io_stats.reset()
+    return storage
+
+
+class ResultsSink:
+    """Accumulates rows per figure; prints and saves them at teardown."""
+
+    def __init__(self):
+        self._figures = {}
+
+    def add(self, figure, **row):
+        self._figures.setdefault(figure, []).append(row)
+
+    def flush(self):
+        """Print each figure's table, save JSON rows and a text summary.
+
+        pytest captures teardown prints unless ``-s`` is given, so the
+        tables are also written to ``results/summary.txt`` -- that file
+        plus the per-figure JSONs are the run's durable artifacts
+        (``repro-core report`` re-renders the JSONs at any time).
+        """
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        tables = []
+        for figure, rows in sorted(self._figures.items()):
+            headers = list(rows[0].keys())
+            table = format_table(
+                headers,
+                [[row.get(h, "") for h in headers] for row in rows],
+                title="== %s ==" % figure,
+            )
+            print("\n" + table)
+            tables.append(table)
+            safe = figure.lower().replace(" ", "_").replace("/", "-")
+            save_results(os.path.join(RESULTS_DIR, safe + ".json"),
+                         {"figure": figure, "scale": BENCH_SCALE,
+                          "rows": rows})
+        if tables:
+            summary_path = os.path.join(RESULTS_DIR, "summary.txt")
+            with open(summary_path, "a", encoding="ascii") as handle:
+                handle.write("\n\n".join(tables) + "\n")
+
+
+@pytest.fixture(scope="session")
+def results():
+    sink = ResultsSink()
+    yield sink
+    sink.flush()
+
+
+def once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

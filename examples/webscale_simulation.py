@@ -1,0 +1,79 @@
+"""The web-scale story at laptop scale: bounded memory on a disk graph.
+
+The paper's headline: Clueweb (978.5M nodes, 42.6B edges) decomposed in
+under 4.2 GB of memory, because the semi-external algorithms keep only a
+few bytes per node resident while the edges stream from disk.
+
+This example builds a web-graph proxy as real files on disk, runs all
+three semi-external algorithms, and reports the paper's three panels --
+time, memory, I/O -- including how little resident memory SemiCore*
+needs relative to the on-disk edge data.
+"""
+
+import os
+import tempfile
+
+import repro
+from repro.bench.harness import run_decomposition
+from repro.bench.reporting import (
+    format_bytes,
+    format_count,
+    format_seconds,
+    format_table,
+)
+from repro.datasets import generators
+
+# Shrink the run with e.g. REPRO_EXAMPLE_SCALE=0.1 (used by the tests).
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
+
+def main():
+    # A web-graph proxy: skewed R-MAT structure, a dense core, and the
+    # deep chain that makes plain SemiCore converge slowly (Fig. 3(b)).
+    edges, n = generators.web_graph(
+        max(200, int(20000 * SCALE)), edges_per_node=8,
+        clique=max(5, int(40 * min(1.0, SCALE))),
+        tail=max(10, int(80 * SCALE)), seed=5)
+
+    workdir = tempfile.mkdtemp(prefix="repro_webscale_")
+    prefix = os.path.join(workdir, "webgraph")
+    storage = repro.GraphStorage.from_edges(edges, n, path=prefix)
+    edge_bytes = os.path.getsize(prefix + ".edges")
+    node_bytes = os.path.getsize(prefix + ".nodes")
+    print("on-disk graph: %d nodes, %d edges" % (storage.num_nodes,
+                                                 storage.num_edges))
+    print("  %s edge table + %s node table at %s"
+          % (format_bytes(edge_bytes), format_bytes(node_bytes), workdir))
+
+    rows = []
+    for name in ("semicore", "semicore+", "semicore*"):
+        storage.io_stats.reset()
+        result = run_decomposition(name, storage)
+        rows.append((
+            result.algorithm,
+            format_seconds(result.elapsed_seconds),
+            format_bytes(result.model_memory_bytes),
+            format_count(result.io.read_ios),
+            result.iterations,
+        ))
+        final = result
+
+    print()
+    print(format_table(
+        ("algorithm", "time", "resident memory", "read I/Os", "iterations"),
+        rows, title="semi-external decomposition (all from disk)"))
+
+    ratio = (edge_bytes + node_bytes) / final.model_memory_bytes
+    print("\nSemiCore* kept %s resident for a %s graph -- %.0fx smaller"
+          % (format_bytes(final.model_memory_bytes),
+             format_bytes(edge_bytes + node_bytes), ratio))
+    print("kmax = %d; the same bound scales as O(n): Clueweb's 978M nodes"
+          " x ~4 bytes/node is the paper's 4.2 GB figure." % final.kmax)
+
+    for suffix in (".nodes", ".edges"):
+        os.unlink(prefix + suffix)
+    os.rmdir(workdir)
+
+
+if __name__ == "__main__":
+    main()

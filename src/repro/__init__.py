@@ -1,0 +1,83 @@
+"""Semi-external k-core decomposition and maintenance at web scale.
+
+This package reproduces "I/O Efficient Core Graph Decomposition at Web
+Scale" (Wen, Qin, Zhang, Lin, Yu -- ICDE 2016).  The public API exposes:
+
+* the on-disk graph substrate (:class:`~repro.storage.GraphStorage`,
+  :class:`~repro.storage.DynamicGraph`, :class:`~repro.storage.MemoryGraph`),
+* the decomposition algorithms (:func:`im_core`, :func:`em_core`,
+  :func:`semi_core`, :func:`semi_core_plus`, :func:`semi_core_star`),
+* the maintenance API (:class:`~repro.core.CoreMaintainer`),
+* k-core queries (:func:`k_core_nodes`, :func:`degeneracy`), and
+* the synthetic dataset registry (:func:`~repro.datasets.load_dataset`).
+
+Quickstart::
+
+    import repro
+
+    storage = repro.GraphStorage.from_edges([(0, 1), (1, 2), (0, 2)])
+    result = repro.semi_core_star(storage)
+    print(result.cores, result.io.read_ios)
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    CorruptStorageError,
+    EdgeExistsError,
+    EdgeNotFoundError,
+    ReproError,
+    StorageError,
+)
+from repro.storage import (
+    DynamicGraph,
+    FileBlockDevice,
+    GraphStorage,
+    IOStats,
+    MemoryBlockDevice,
+    MemoryGraph,
+)
+from repro.core import (
+    CoreMaintainer,
+    DecompositionResult,
+    MaintenanceResult,
+    core_histogram,
+    degeneracy,
+    em_core,
+    im_core,
+    k_core_nodes,
+    k_core_subgraph,
+    local_core,
+    semi_core,
+    semi_core_plus,
+    semi_core_star,
+)
+from repro.datasets import load_dataset
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "StorageError",
+    "CorruptStorageError",
+    "EdgeExistsError",
+    "EdgeNotFoundError",
+    "IOStats",
+    "MemoryBlockDevice",
+    "FileBlockDevice",
+    "GraphStorage",
+    "DynamicGraph",
+    "MemoryGraph",
+    "DecompositionResult",
+    "MaintenanceResult",
+    "im_core",
+    "em_core",
+    "semi_core",
+    "semi_core_plus",
+    "semi_core_star",
+    "local_core",
+    "CoreMaintainer",
+    "k_core_nodes",
+    "k_core_subgraph",
+    "core_histogram",
+    "degeneracy",
+    "load_dataset",
+]

@@ -1,0 +1,110 @@
+"""Plain-text reporting helpers for the benchmark suite.
+
+The benchmark drivers print the same rows/series the paper plots; these
+helpers keep the formatting consistent (engineering suffixes, aligned
+columns) so EXPERIMENTS.md can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def format_count(value):
+    """Format a count with K/M/G suffixes, paper-axis style."""
+    value = float(value)
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return "%.2f%s" % (value / threshold, suffix)
+    if value == int(value):
+        return "%d" % int(value)
+    return "%.2f" % value
+
+
+def format_bytes(value):
+    """Format a byte count with B/KB/MB/GB suffixes."""
+    value = float(value)
+    for threshold, suffix in ((1 << 30, "GB"), (1 << 20, "MB"),
+                              (1 << 10, "KB")):
+        if abs(value) >= threshold:
+            return "%.2f%s" % (value / threshold, suffix)
+    return "%dB" % int(value)
+
+
+def format_seconds(value):
+    """Format a duration the way the paper's log axes label it."""
+    if value >= 60:
+        return "%.1fmin" % (value / 60.0)
+    if value >= 1:
+        return "%.2fs" % value
+    if value >= 1e-3:
+        return "%.2fms" % (value * 1e3)
+    return "%.0fus" % (value * 1e6)
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned ASCII table."""
+    table = [list(map(str, headers))]
+    for row in rows:
+        table.append([str(cell) for cell in row])
+    widths = [max(len(line[i]) for line in table)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(table[0], widths)))
+    lines.append(divider)
+    for row in table[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title, xs, ys, x_label="x", y_label="y"):
+    """Render an (x, y) series as two aligned columns."""
+    rows = list(zip(xs, ys))
+    return format_table((x_label, y_label), rows, title=title)
+
+
+def format_bar_chart(title, labels, values, *, width=48, log=False,
+                     value_formatter=format_count):
+    """Render a horizontal bar chart in ASCII (the paper's log axes).
+
+    With ``log`` the bar length follows ``log10`` of the value, matching
+    the paper's log-scale time/IO plots where order-of-magnitude gaps
+    are the story.
+    """
+    import math
+
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    lines = [title] if title else []
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(str(label)) for label in labels)
+
+    def magnitude(value):
+        if not log:
+            return float(value)
+        return math.log10(value) if value >= 1 else 0.0
+
+    top = max(magnitude(v) for v in values) or 1.0
+    for label, value in zip(labels, values):
+        length = int(round(width * magnitude(value) / top))
+        bar = "#" * max(length, 1 if value else 0)
+        lines.append("%s | %s %s" % (str(label).ljust(label_width), bar,
+                                     value_formatter(value)))
+    return "\n".join(lines)
+
+
+def save_results(path, payload):
+    """Persist a results payload as indented JSON."""
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_results(path):
+    """Load a results payload saved by :func:`save_results`."""
+    with open(path, "r", encoding="ascii") as handle:
+        return json.load(handle)

@@ -1,0 +1,256 @@
+"""Command line interface: ``repro-core`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``   build a registry dataset proxy as on-disk tables
+``convert``    convert a text edge list into on-disk tables
+``stats``      print basic statistics of stored tables
+``decompose``  run a decomposition algorithm and report its metrics
+``maintain``   apply an update stream (``+ u v`` / ``- u v`` lines)
+``verify``     audit stored tables (and optionally a core file)
+``report``     re-render benchmark result JSONs as tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import run_decomposition
+from repro.bench.reporting import (
+    format_bytes,
+    format_count,
+    format_seconds,
+    format_table,
+)
+from repro.core.maintenance.maintainer import CoreMaintainer
+from repro.datasets.io import read_edge_list
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.errors import ReproError
+from repro.storage.graphstore import GraphStorage
+
+
+def _cmd_generate(args):
+    edges_storage = load_dataset(args.dataset, scale=args.scale,
+                                 seed=args.seed)
+    adjacency = (edges_storage.neighbors(v)
+                 for v in range(edges_storage.num_nodes))
+    stored = GraphStorage.from_adjacency(adjacency,
+                                         edges_storage.num_nodes,
+                                         path=args.output)
+    print("wrote %s.nodes / %s.edges  (n=%d, m=%d)"
+          % (args.output, args.output, stored.num_nodes, stored.num_edges))
+    stored.close()
+    return 0
+
+
+def _cmd_convert(args):
+    edges = list(read_edge_list(args.edges))
+    storage = GraphStorage.from_edges(edges, path=args.output)
+    print("wrote %s.nodes / %s.edges  (n=%d, m=%d)"
+          % (args.output, args.output, storage.num_nodes,
+             storage.num_edges))
+    storage.close()
+    return 0
+
+
+def _cmd_stats(args):
+    storage = GraphStorage.open(args.graph)
+    n, m = storage.num_nodes, storage.num_edges
+    density = m / n if n else 0.0
+    rows = [
+        ("nodes", format_count(n)),
+        ("edges", format_count(m)),
+        ("density", "%.2f" % density),
+    ]
+    if args.cores:
+        result = run_decomposition("semicore*", storage)
+        rows.append(("kmax", str(result.kmax)))
+        rows.append(("decomposition time", format_seconds(
+            result.elapsed_seconds)))
+    print(format_table(("statistic", "value"), rows))
+    storage.close()
+    return 0
+
+
+def _cmd_decompose(args):
+    storage = GraphStorage.open(args.graph)
+    result = run_decomposition(args.algorithm, storage)
+    rows = [
+        ("algorithm", result.algorithm),
+        ("kmax", str(result.kmax)),
+        ("iterations", str(result.iterations)),
+        ("node computations", format_count(result.node_computations)),
+        ("read I/Os", format_count(result.io.read_ios)),
+        ("write I/Os", format_count(result.io.write_ios)),
+        ("model memory", format_bytes(result.model_memory_bytes)),
+        ("time", format_seconds(result.elapsed_seconds)),
+    ]
+    print(format_table(("metric", "value"), rows))
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as handle:
+            for v, c in enumerate(result.cores):
+                handle.write("%d\t%d\n" % (v, c))
+        print("cores written to %s" % args.output)
+    storage.close()
+    return 0
+
+
+def _cmd_maintain(args):
+    storage = GraphStorage.open(args.graph, writable=False)
+    maintainer = CoreMaintainer.from_storage(storage)
+    applied = 0
+    with open(args.operations, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[0] not in "+-":
+                raise ReproError(
+                    "%s:%d: expected '+ u v' or '- u v', got %r"
+                    % (args.operations, lineno, line)
+                )
+            u, v = int(parts[1]), int(parts[2])
+            if parts[0] == "+":
+                result = maintainer.insert_edge(u, v,
+                                                algorithm=args.algorithm)
+            else:
+                result = maintainer.delete_edge(u, v)
+            applied += 1
+            if args.verbose:
+                print(result.summary())
+    print("applied %d operations; kmax is now %d" % (applied,
+                                                     maintainer.kmax))
+    return 0
+
+
+def _cmd_verify(args):
+    from repro.core.validate import validate_cores, verify_storage
+    from repro.storage.memgraph import MemoryGraph
+
+    storage = GraphStorage.open(args.graph)
+    issues = verify_storage(storage)
+    for issue in issues:
+        print("storage: %s" % issue)
+    if args.cores:
+        alleged = []
+        with open(args.cores, "r", encoding="ascii") as handle:
+            for line in handle:
+                parts = line.split()
+                if parts:
+                    alleged.append(int(parts[-1]))
+        graph = MemoryGraph.from_storage(storage)
+        for issue in validate_cores(graph, alleged):
+            print("cores: %s" % issue)
+            issues.append(issue)
+    if issues:
+        print("%d issue(s) found" % len(issues))
+        return 1
+    print("ok: tables are consistent"
+          + (" and the core file is exact" if args.cores else ""))
+    storage.close()
+    return 0
+
+
+def _cmd_report(args):
+    import glob
+    import os
+
+    from repro.bench.reporting import load_results
+
+    paths = sorted(glob.glob(os.path.join(args.results, "*.json")))
+    if not paths:
+        print("no result files under %s" % args.results, file=sys.stderr)
+        return 1
+    for path in paths:
+        payload = load_results(path)
+        rows = payload.get("rows", [])
+        if not rows:
+            continue
+        if args.figure and args.figure.lower() not in \
+                payload["figure"].lower():
+            continue
+        headers = list(rows[0].keys())
+        print(format_table(
+            headers,
+            [[row.get(h, "") for h in headers] for row in rows],
+            title="== %s (scale %s) ==" % (payload["figure"],
+                                           payload.get("scale", "?")),
+        ))
+        print()
+    return 0
+
+
+def build_parser():
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-core",
+        description="Semi-external k-core decomposition toolkit "
+                    "(ICDE 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="build a registry dataset proxy")
+    p.add_argument("--dataset", required=True, choices=dataset_names())
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--output", required=True,
+                   help="path prefix for the .nodes/.edges tables")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("convert", help="convert a text edge list")
+    p.add_argument("--edges", required=True)
+    p.add_argument("--output", required=True)
+    p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("stats", help="print graph statistics")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--cores", action="store_true",
+                   help="also run SemiCore* and report kmax")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("decompose", help="run a decomposition algorithm")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--algorithm", default="semicore*",
+                   choices=["semicore", "semicore+", "semicore*",
+                            "emcore", "imcore"])
+    p.add_argument("--output", help="write per-node core numbers here")
+    p.set_defaults(func=_cmd_decompose)
+
+    p = sub.add_parser("maintain", help="apply an edge update stream")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--operations", required=True,
+                   help="file of '+ u v' / '- u v' lines")
+    p.add_argument("--algorithm", default="star",
+                   choices=["star", "two-phase"])
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_maintain)
+
+    p = sub.add_parser("verify", help="audit stored graph tables")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--cores",
+                   help="also validate a core file written by decompose")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("report", help="print saved benchmark results")
+    p.add_argument("--results", default="benchmarks/results",
+                   help="directory of result JSON files")
+    p.add_argument("--figure", help="only figures whose name contains this")
+    p.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""k-core queries on top of a core decomposition.
+
+Lemma 2.1: the k-core of ``G`` is the subgraph induced by the nodes whose
+core number is at least ``k``, so once a decomposition is available every
+k-core is a filter away.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.storage.memgraph import MemoryGraph
+
+
+def k_core_nodes(cores, k):
+    """Node ids belonging to the k-core (``core(v) >= k``)."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return [v for v, c in enumerate(cores) if c >= k]
+
+
+def k_core_subgraph(graph, cores, k):
+    """The k-core as a :class:`MemoryGraph` over the original node ids.
+
+    ``graph`` may be a :class:`MemoryGraph`, :class:`GraphStorage` or
+    :class:`DynamicGraph`; only the adjacency of member nodes is read.
+    """
+    members = set(k_core_nodes(cores, k))
+    subgraph = MemoryGraph(graph.num_nodes)
+    for v in sorted(members):
+        for u in graph.neighbors(v):
+            if u > v and u in members:
+                subgraph.insert_edge(v, int(u))
+    return subgraph
+
+
+def degeneracy(cores):
+    """The degeneracy of the graph: the largest core number present."""
+    return max(cores) if len(cores) else 0
+
+
+def core_histogram(cores):
+    """Mapping ``k -> number of nodes with core number exactly k``."""
+    return dict(Counter(cores))
+
+
+def core_distribution(cores):
+    """Mapping ``k -> size of the k-core`` for every k up to kmax."""
+    histogram = core_histogram(cores)
+    kmax = degeneracy(cores)
+    sizes = {}
+    running = 0
+    for k in range(kmax, -1, -1):
+        running += histogram.get(k, 0)
+        sizes[k] = running
+    return sizes

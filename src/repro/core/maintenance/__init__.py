@@ -1,0 +1,22 @@
+"""Incremental core maintenance under the semi-external model."""
+
+from repro.core.maintenance.checkpoint import (
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.maintenance.delete_star import semi_delete_star
+from repro.core.maintenance.inmemory import im_delete, im_insert
+from repro.core.maintenance.insert import semi_insert
+from repro.core.maintenance.insert_star import semi_insert_star
+from repro.core.maintenance.maintainer import CoreMaintainer
+
+__all__ = [
+    "semi_delete_star",
+    "semi_insert",
+    "semi_insert_star",
+    "im_insert",
+    "im_delete",
+    "CoreMaintainer",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,80 @@
+"""Checkpointing the maintained semi-external state.
+
+A maintenance service holding ``core``/``cnt`` for a billion-node graph
+cannot afford to recompute them after a restart (the seeding run is the
+expensive part).  A checkpoint stores both arrays plus a fingerprint of
+the graph they describe; :func:`load_checkpoint` refuses to resume
+against a graph whose shape changed while the service was down.
+
+Format: a 32-byte header (magic, version, n, arc count) followed by the
+two ``int32`` arrays back to back.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+
+from repro.errors import CorruptStorageError
+
+_MAGIC = b"RPRSTAT1"
+_HEADER = struct.Struct("<8sIQQ4x")
+_VERSION = 1
+
+
+def save_checkpoint(path, graph, cores, cnt):
+    """Persist ``core``/``cnt`` for ``graph`` to ``path``."""
+    n = graph.num_nodes
+    if len(cores) != n or len(cnt) != n:
+        raise ValueError(
+            "arrays (%d/%d entries) do not match n=%d"
+            % (len(cores), len(cnt), n)
+        )
+    core_arr = array("i", cores)
+    cnt_arr = array("i", cnt)
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, _VERSION, n, graph.num_arcs))
+        handle.write(core_arr.tobytes())
+        handle.write(cnt_arr.tobytes())
+
+
+def load_checkpoint(path, graph=None):
+    """Load ``(cores, cnt)``; verifies the fingerprint when given a graph.
+
+    Raises :class:`CorruptStorageError` on format problems or when the
+    graph's node/arc counts disagree with the checkpoint.
+    """
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise CorruptStorageError("checkpoint header truncated")
+        magic, version, n, arcs = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise CorruptStorageError("bad checkpoint magic %r" % (magic,))
+        if version != _VERSION:
+            raise CorruptStorageError(
+                "unsupported checkpoint version %d" % version)
+        payload = handle.read()
+    expected = 2 * 4 * n
+    if len(payload) != expected:
+        raise CorruptStorageError(
+            "checkpoint payload is %d bytes, expected %d"
+            % (len(payload), expected)
+        )
+    if graph is not None:
+        if graph.num_nodes != n:
+            raise CorruptStorageError(
+                "checkpoint is for n=%d, graph has n=%d"
+                % (n, graph.num_nodes)
+            )
+        if graph.num_arcs != arcs:
+            raise CorruptStorageError(
+                "checkpoint is for %d arcs, graph has %d "
+                "(graph changed since the checkpoint)"
+                % (arcs, graph.num_arcs)
+            )
+    cores = array("i")
+    cores.frombytes(payload[:4 * n])
+    cnt = array("i")
+    cnt.frombytes(payload[4 * n:])
+    return cores, cnt

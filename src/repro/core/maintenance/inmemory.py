@@ -1,0 +1,123 @@
+"""IMInsert / IMDelete: in-memory streaming maintenance baselines.
+
+The traversal algorithms of Sariyuce et al. (PVLDB'13) / Li et al.
+(TKDE'14) summarised in Section III of the paper.  They operate on a
+resident :class:`~repro.storage.MemoryGraph` and a core array (no ``cnt``
+is maintained):
+
+* **insertion** -- collect the *subcore* reachable from the smaller-core
+  endpoint through nodes of equal core (Theorem 3.2), then run the
+  eviction fixpoint: a candidate survives iff it keeps ``> cold``
+  support counting other surviving candidates optimistically;
+* **deletion** -- cascade demotions inside the subcore: a node of core
+  ``r`` drops to ``r - 1`` when fewer than ``r`` neighbours of core
+  ``>= r`` remain (demoted neighbours no longer count).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.result import MaintenanceResult
+from repro.storage.blockio import IOStats
+
+
+def im_insert(graph, core, u, v):
+    """Insert edge (u, v) into a memory graph, updating ``core`` in place."""
+    started = time.perf_counter()
+    graph.insert_edge(u, v)
+    if core[u] > core[v]:
+        u, v = v, u
+    root = u
+    cold = core[root]
+
+    # Subcore: nodes of core == cold reachable from the root.
+    candidates = {root}
+    stack = [root]
+    while stack:
+        w = stack.pop()
+        for x in graph.neighbors(w):
+            if core[x] == cold and x not in candidates:
+                candidates.add(x)
+                stack.append(x)
+
+    # Eviction fixpoint over the candidate set.
+    evicted = set()
+    support = {}
+    for w in candidates:
+        s = 0
+        for x in graph.neighbors(w):
+            if core[x] > cold or x in candidates:
+                s += 1
+        support[w] = s
+    queue = [w for w in candidates if support[w] <= cold]
+    while queue:
+        w = queue.pop()
+        if w in evicted:
+            continue
+        evicted.add(w)
+        for x in graph.neighbors(w):
+            if x in candidates and x not in evicted:
+                support[x] -= 1
+                if support[x] <= cold:
+                    queue.append(x)
+
+    survivors = sorted(candidates - evicted)
+    for w in survivors:
+        core[w] = cold + 1
+    return MaintenanceResult(
+        algorithm="IMInsert",
+        operation="insert",
+        edge=(u, v),
+        changed_nodes=survivors,
+        candidate_nodes=len(candidates),
+        iterations=1,
+        node_computations=len(candidates),
+        io=IOStats(),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def im_delete(graph, core, u, v):
+    """Delete edge (u, v) from a memory graph, updating ``core`` in place."""
+    started = time.perf_counter()
+    graph.delete_edge(u, v)
+    r = min(core[u], core[v])
+    seeds = [w for w in (u, v) if core[w] == r]
+
+    demoted = set()
+    computations = 0
+
+    def support(w):
+        s = 0
+        for x in graph.neighbors(w):
+            c = core[x]
+            if c > r or (c == r and x not in demoted):
+                s += 1
+        return s
+
+    queue = list(seeds)
+    while queue:
+        w = queue.pop()
+        if w in demoted or core[w] != r:
+            continue
+        computations += 1
+        if support(w) < r:
+            demoted.add(w)
+            core[w] = r - 1
+            for x in graph.neighbors(w):
+                if core[x] == r and x not in demoted:
+                    queue.append(x)
+
+    changed = sorted(demoted)
+    return MaintenanceResult(
+        algorithm="IMDelete",
+        operation="delete",
+        edge=(u, v),
+        changed_nodes=changed,
+        candidate_nodes=max(computations, len(seeds)),
+        iterations=1,
+        node_computations=computations,
+        io=IOStats(),
+        elapsed_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,101 @@
+"""Result objects returned by the decomposition and maintenance algorithms.
+
+Every algorithm reports the metrics the paper's evaluation section plots:
+wall-clock time, block I/Os, model memory, iteration counts and node
+computations.  *Model memory* is the byte count of the node-indexed state
+an algorithm allocates (e.g. the ``core`` array), which reproduces the
+paper's memory comparison independently of CPython object overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.storage.blockio import IOStats
+
+
+@dataclass
+class DecompositionResult:
+    """Outcome of one core-decomposition run."""
+
+    algorithm: str
+    cores: Sequence[int]
+    iterations: int
+    node_computations: int
+    io: IOStats
+    elapsed_seconds: float
+    model_memory_bytes: int
+    per_iteration_changes: Optional[List[int]] = None
+    computed_per_iteration: Optional[List[List[int]]] = None
+    cnt: Optional[Sequence[int]] = None
+
+    @property
+    def kmax(self):
+        """Largest core number in the graph (0 for an empty graph)."""
+        return max(self.cores) if len(self.cores) else 0
+
+    def core_of(self, v):
+        """Core number of node ``v``."""
+        return self.cores[v]
+
+    def summary(self):
+        """One-line human-readable summary."""
+        return (
+            "%s: kmax=%d iters=%d comps=%d reads=%d writes=%d "
+            "mem=%dB time=%.3fs"
+            % (
+                self.algorithm, self.kmax, self.iterations,
+                self.node_computations, self.io.read_ios, self.io.write_ios,
+                self.model_memory_bytes, self.elapsed_seconds,
+            )
+        )
+
+
+@dataclass
+class MaintenanceResult:
+    """Outcome of one incremental edge insertion or deletion."""
+
+    algorithm: str
+    operation: str
+    edge: Tuple[int, int]
+    changed_nodes: List[int]
+    candidate_nodes: int
+    iterations: int
+    node_computations: int
+    io: IOStats
+    elapsed_seconds: float
+
+    @property
+    def num_changed(self):
+        """Number of nodes whose core number changed."""
+        return len(self.changed_nodes)
+
+    def summary(self):
+        """One-line human-readable summary."""
+        return (
+            "%s %s(%d,%d): changed=%d candidates=%d comps=%d reads=%d "
+            "time=%.6fs"
+            % (
+                self.algorithm, self.operation, self.edge[0], self.edge[1],
+                self.num_changed, self.candidate_nodes,
+                self.node_computations, self.io.read_ios,
+                self.elapsed_seconds,
+            )
+        )
+
+
+def io_snapshot(graph):
+    """Snapshot a graph's I/O counters (empty stats when not I/O backed)."""
+    stats = getattr(graph, "io_stats", None)
+    if stats is None:
+        return None
+    return stats.snapshot()
+
+
+def io_delta(graph, snapshot):
+    """I/O accumulated on ``graph`` since :func:`io_snapshot`."""
+    stats = getattr(graph, "io_stats", None)
+    if stats is None or snapshot is None:
+        return IOStats()
+    return stats.delta_since(snapshot)

@@ -1,0 +1,54 @@
+"""Synthetic datasets, sampling and edge-list I/O."""
+
+from repro.datasets import generators
+from repro.datasets.io import (
+    BinaryEdgeFile,
+    EdgeListFile,
+    read_binary_edges,
+    read_edge_list,
+    write_binary_edges,
+    write_edge_list,
+)
+from repro.datasets.registry import (
+    BIG_DATASETS,
+    DATASETS,
+    SMALL_DATASETS,
+    DatasetSpec,
+    PaperStats,
+    dataset_names,
+    generate_dataset,
+    get_spec,
+    load_dataset,
+)
+from repro.datasets.sampling import sample_edges, sample_nodes
+from repro.datasets.stats import (
+    degree_skew,
+    degree_statistics,
+    estimate_semi_external_memory,
+    graph_statistics,
+)
+
+__all__ = [
+    "generators",
+    "DATASETS",
+    "SMALL_DATASETS",
+    "BIG_DATASETS",
+    "DatasetSpec",
+    "PaperStats",
+    "dataset_names",
+    "get_spec",
+    "generate_dataset",
+    "load_dataset",
+    "sample_nodes",
+    "sample_edges",
+    "graph_statistics",
+    "degree_statistics",
+    "degree_skew",
+    "estimate_semi_external_memory",
+    "read_edge_list",
+    "write_edge_list",
+    "read_binary_edges",
+    "write_binary_edges",
+    "EdgeListFile",
+    "BinaryEdgeFile",
+]

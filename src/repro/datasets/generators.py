@@ -1,0 +1,219 @@
+"""Synthetic graph generators standing in for the paper's real datasets.
+
+The paper evaluates on 12 real graphs (Table I) that are not shipped here,
+so the registry builds *proxies*: random graphs whose structural knobs --
+degree skew, density, ``kmax`` and propagation depth -- are chosen per
+dataset.  The knobs matter because they drive the algorithms' behaviour:
+
+* degree skew and density control the work per iteration;
+* a planted near-clique pins ``kmax`` (scaled down from Table I);
+* a trailing path whose degree-1 endpoint has the *highest* node id makes
+  value corrections propagate against the scan order one hop per pass,
+  reproducing the long convergence tails of the web graphs (Fig. 3(b):
+  UK needs 2137 iterations with fewer than 100 changes each).
+
+All generators are deterministic in ``seed`` and return ``(edges, n)``
+with edges canonicalized as ``(min, max)`` pairs, no loops, no duplicates.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def paper_example_graph():
+    """The 9-node sample graph of Fig. 1.
+
+    Reconstructed from the worked examples: ``{v0, v1, v2, v3}`` is a
+    3-core, ``core(v4..v7) = 2`` and ``core(v8) = 1``; the initial degrees
+    match the ``Init`` row of Fig. 2 (3, 3, 4, 6, 3, 5, 3, 2, 1).
+    """
+    edges = [
+        (0, 1), (0, 2), (0, 3),
+        (1, 2), (1, 3),
+        (2, 3), (2, 4),
+        (3, 4), (3, 5), (3, 6),
+        (4, 5),
+        (5, 6), (5, 7), (5, 8),
+        (6, 7),
+    ]
+    return edges, 9
+
+
+def complete_graph(n):
+    """All pairs on ``n`` nodes (core number ``n - 1`` everywhere)."""
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return edges, n
+
+
+def cycle_graph(n):
+    """A ring (core number 2 everywhere, for n >= 3)."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 nodes")
+    return [(v, v + 1) for v in range(n - 1)] + [(0, n - 1)], n
+
+
+def path_graph(n):
+    """A simple path (core number 1 everywhere, for n >= 2)."""
+    return [(v, v + 1) for v in range(n - 1)], n
+
+
+def star_graph(n):
+    """One hub and ``n - 1`` leaves (core number 1 everywhere)."""
+    return [(0, v) for v in range(1, n)], n
+
+
+def erdos_renyi(n, m, seed=0):
+    """``m`` distinct uniform random edges on ``n`` nodes."""
+    limit = n * (n - 1) // 2
+    if m > limit:
+        raise ValueError("cannot place %d edges on %d nodes" % (m, n))
+    rng = random.Random(seed)
+    chosen = set()
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        if u > v:
+            u, v = v, u
+        chosen.add((u, v))
+    return sorted(chosen), n
+
+
+def barabasi_albert(n, attach, seed=0):
+    """Preferential attachment: each new node links to ``attach`` targets.
+
+    Produces the heavy-tailed degree distribution typical of the social
+    networks in the paper's small group (Youtube, LJ, Orkut, Twitter).
+    """
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    if n <= attach:
+        return complete_graph(n)
+    rng = random.Random(seed)
+    edges = []
+    targets_pool = []
+    # Seed with a clique on attach + 1 nodes.
+    for u in range(attach + 1):
+        for v in range(u + 1, attach + 1):
+            edges.append((u, v))
+            targets_pool.extend((u, v))
+    for v in range(attach + 1, n):
+        targets = set()
+        while len(targets) < attach:
+            targets.add(rng.choice(targets_pool))
+        for u in targets:
+            edges.append((u, v) if u < v else (v, u))
+            targets_pool.extend((u, v))
+    return sorted(set(edges)), n
+
+
+def rmat(n, m, seed=0, a=0.57, b=0.19, c=0.19):
+    """R-MAT sampler: skewed web-graph-like edges on ``n`` nodes.
+
+    Standard Graph500 parameters by default (d = 1 - a - b - c).  Edges
+    whose endpoints collide or fall outside ``[0, n)`` are re-sampled.
+    """
+    if n < 2:
+        raise ValueError("rmat needs at least 2 nodes")
+    rng = random.Random(seed)
+    scale = max(1, (n - 1).bit_length())
+    side = 1 << scale
+    ab = a + b
+    abc = a + b + c
+    chosen = set()
+    attempts = 0
+    limit = 200 * m + 1000
+    while len(chosen) < m and attempts < limit:
+        attempts += 1
+        u = v = 0
+        half = side
+        for _ in range(scale):
+            half >>= 1
+            r = rng.random()
+            if r < a:
+                pass
+            elif r < ab:
+                v += half
+            elif r < abc:
+                u += half
+            else:
+                u += half
+                v += half
+        if u == v or u >= n or v >= n:
+            continue
+        if u > v:
+            u, v = v, u
+        chosen.add((u, v))
+    return sorted(chosen), n
+
+
+def plant_clique(edges, n, members, seed=0):
+    """Densify a random node subset into a clique (pins ``kmax``).
+
+    Returns the augmented edge list; the planted ``members``-node clique
+    guarantees a core of number ``members - 1``.
+    """
+    if members > n:
+        raise ValueError("clique of %d nodes needs n >= %d" % (members, members))
+    rng = random.Random(seed)
+    chosen = rng.sample(range(n), members)
+    edge_set = set(edges)
+    for i, u in enumerate(chosen):
+        for v in chosen[i + 1:]:
+            edge_set.add((u, v) if u < v else (v, u))
+    return sorted(edge_set), n
+
+
+def append_tail_path(edges, n, length, anchor=0):
+    """Append a path of ``length`` fresh nodes with the weak end last.
+
+    The path is ``anchor - n - (n+1) - ... - (n+length-1)``; the degree-1
+    endpoint gets the highest node id, so each forward Gauss-Seidel pass
+    of SemiCore repairs only one more hop -- the mechanism behind the
+    paper's 2137-iteration UK run.
+    """
+    if length <= 0:
+        return list(edges), n
+    edges = list(edges)
+    previous = anchor
+    for i in range(length):
+        node = n + i
+        edges.append((previous, node) if previous < node else (node, previous))
+        previous = node
+    return edges, n + length
+
+
+def social_graph(n, attach, clique, seed=0):
+    """Preferential-attachment base with a planted clique."""
+    edges, n = barabasi_albert(n, attach, seed=seed)
+    return plant_clique(edges, n, clique, seed=seed + 1)
+
+
+def web_graph(n, edges_per_node, clique, tail, seed=0):
+    """R-MAT base with a planted clique and a long propagation tail."""
+    core_nodes = max(2, n - tail)
+    edges, _ = rmat(core_nodes, edges_per_node * core_nodes, seed=seed)
+    edges, _ = plant_clique(edges, core_nodes, min(clique, core_nodes),
+                            seed=seed + 1)
+    return append_tail_path(edges, core_nodes, tail)
+
+
+def citation_graph(n, m, clique, seed=0):
+    """Uniform random citations with a small planted community."""
+    edges, n = erdos_renyi(n, m, seed=seed)
+    return plant_clique(edges, n, clique, seed=seed + 1)
+
+
+def collaboration_graph(n, groups, min_size, max_size, clique, seed=0):
+    """Union of author cliques, the DBLP-style co-authorship structure."""
+    rng = random.Random(seed)
+    edge_set = set()
+    for _ in range(groups):
+        size = rng.randint(min_size, max_size)
+        authors = rng.sample(range(n), size)
+        for i, u in enumerate(authors):
+            for v in authors[i + 1:]:
+                edge_set.add((u, v) if u < v else (v, u))
+    return plant_clique(sorted(edge_set), n, clique, seed=seed + 1)

@@ -1,0 +1,94 @@
+"""Edge-list file formats: SNAP-style text and packed binary.
+
+Both readers are *re-iterable* objects (each ``iter()`` reopens the
+file), which is what the semi-external builder in
+:mod:`repro.storage.builder` needs for its multiple placement passes.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.errors import ReproError
+
+_PAIR = struct.Struct("<II")
+
+
+def write_edge_list(path, edges, header=None):
+    """Write edges as ``u<TAB>v`` text lines (SNAP convention)."""
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write("# %s\n" % line)
+        for u, v in edges:
+            handle.write("%d\t%d\n" % (u, v))
+            count += 1
+    return count
+
+
+def read_edge_list(path):
+    """Yield ``(u, v)`` pairs from a text edge list, skipping comments."""
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ReproError(
+                    "%s:%d: malformed edge line %r" % (path, lineno, line)
+                )
+            try:
+                yield int(parts[0]), int(parts[1])
+            except ValueError:
+                raise ReproError(
+                    "%s:%d: non-integer endpoints %r" % (path, lineno, line)
+                ) from None
+
+
+def write_binary_edges(path, edges):
+    """Write edges as packed little-endian u32 pairs."""
+    count = 0
+    with open(path, "wb") as handle:
+        for u, v in edges:
+            handle.write(_PAIR.pack(u, v))
+            count += 1
+    return count
+
+
+def read_binary_edges(path):
+    """Yield ``(u, v)`` pairs from a packed binary edge file."""
+    size = os.path.getsize(path)
+    if size % _PAIR.size:
+        raise ReproError(
+            "%s: size %d is not a multiple of %d" % (path, size, _PAIR.size)
+        )
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_PAIR.size * 4096)
+            if not chunk:
+                break
+            for offset in range(0, len(chunk), _PAIR.size):
+                yield _PAIR.unpack_from(chunk, offset)
+
+
+class EdgeListFile:
+    """Re-iterable view over a text edge list."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+
+    def __iter__(self):
+        return read_edge_list(self.path)
+
+
+class BinaryEdgeFile:
+    """Re-iterable view over a packed binary edge file."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+
+    def __iter__(self):
+        return read_binary_edges(self.path)

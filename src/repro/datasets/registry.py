@@ -1,0 +1,215 @@
+"""Registry of the paper's 12 datasets as scaled synthetic proxies.
+
+Table I of the paper lists six "small" graphs (DBLP .. Orkut) and six
+"big" graphs (Webbase .. Clueweb).  Each entry here records the paper's
+published statistics alongside a generator configuration that reproduces
+the dataset's *character* at laptop scale: density, degree skew, a scaled
+``kmax`` via a planted clique, and -- for the web graphs -- a propagation
+tail that recreates their slow SemiCore convergence.
+
+``scale`` multiplies the proxy's node count (and edge budget); dataset
+construction is deterministic given ``(name, scale, seed)``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.datasets import generators
+from repro.errors import ReproError
+from repro.storage.graphstore import GraphStorage
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The dataset's row of Table I (for report headers)."""
+
+    nodes: int
+    edges: int
+    density: float
+    kmax: int
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset proxy."""
+
+    name: str
+    group: str  # "small" | "big"
+    description: str
+    paper: PaperStats
+    build: Callable[[float, int], Tuple[list, int]]
+
+    def generate(self, scale=1.0, seed=None):
+        """Return ``(edges, num_nodes)`` for this proxy."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if seed is None:
+            seed = _default_seed(self.name)
+        return self.build(scale, seed)
+
+
+def _default_seed(name):
+    return sum(ord(ch) for ch in name) * 7919 % (2 ** 31)
+
+
+def _scaled(value, scale, minimum=2):
+    return max(minimum, int(round(value * scale)))
+
+
+def _social(n, attach, clique):
+    def build(scale, seed):
+        return generators.social_graph(
+            _scaled(n, scale), attach, _scaled(clique, min(1.0, scale), 3),
+            seed=seed,
+        )
+    return build
+
+
+def _web(n, per_node, clique, tail):
+    def build(scale, seed):
+        return generators.web_graph(
+            _scaled(n, scale), per_node,
+            _scaled(clique, min(1.0, scale), 3),
+            _scaled(tail, scale, 4), seed=seed,
+        )
+    return build
+
+
+def _citation(n, m, clique):
+    def build(scale, seed):
+        return generators.citation_graph(
+            _scaled(n, scale), _scaled(m, scale),
+            _scaled(clique, min(1.0, scale), 3), seed=seed,
+        )
+    return build
+
+
+def _collab(n, groups, min_size, max_size, clique):
+    def build(scale, seed):
+        return generators.collaboration_graph(
+            _scaled(n, scale), _scaled(groups, scale), min_size, max_size,
+            _scaled(clique, min(1.0, scale), 3), seed=seed,
+        )
+    return build
+
+
+DATASETS = {
+    # ---- small group (Fig. 9 a/c/e) -----------------------------------
+    "dblp": DatasetSpec(
+        "dblp", "small", "co-authorship network (union of paper cliques)",
+        PaperStats(317_080, 1_049_866, 3.31, 113),
+        _collab(3000, 2200, 2, 5, 20),
+    ),
+    "youtube": DatasetSpec(
+        "youtube", "small", "social friendship network",
+        PaperStats(1_134_890, 2_987_624, 2.63, 51),
+        _social(5000, 2, 14),
+    ),
+    "wiki": DatasetSpec(
+        "wiki", "small", "discussion network",
+        PaperStats(2_394_385, 5_021_410, 2.10, 131),
+        _social(6000, 2, 18),
+    ),
+    "cpt": DatasetSpec(
+        "cpt", "small", "patent citation graph",
+        PaperStats(3_774_768, 16_518_948, 4.38, 64),
+        _citation(6000, 26000, 13),
+    ),
+    "lj": DatasetSpec(
+        "lj", "small", "LiveJournal blogging community",
+        PaperStats(3_997_962, 34_681_189, 8.67, 360),
+        _social(6000, 6, 26),
+    ),
+    "orkut": DatasetSpec(
+        "orkut", "small", "dense online social network",
+        PaperStats(3_072_441, 117_185_083, 38.14, 253),
+        _social(3000, 18, 34),
+    ),
+    # ---- big group (Fig. 9 b/d/f) --------------------------------------
+    "webbase": DatasetSpec(
+        "webbase", "big", "2001 WebBase crawl",
+        PaperStats(118_142_155, 1_019_903_190, 8.63, 1506),
+        _web(14000, 6, 30, 60),
+    ),
+    "it": DatasetSpec(
+        "it", "big", ".it domain crawl",
+        PaperStats(41_291_594, 1_150_725_436, 27.86, 3224),
+        _web(7000, 16, 40, 40),
+    ),
+    "twitter": DatasetSpec(
+        "twitter", "big", "follower network",
+        PaperStats(41_652_230, 1_468_365_182, 35.25, 2488),
+        _social(8000, 14, 36),
+    ),
+    "sk": DatasetSpec(
+        "sk", "big", ".sk domain crawl",
+        PaperStats(50_636_154, 1_949_412_601, 38.49, 4510),
+        _web(7000, 20, 44, 50),
+    ),
+    "uk": DatasetSpec(
+        "uk", "big", "2007 .uk snapshot (DELIS)",
+        PaperStats(105_896_555, 3_738_733_648, 35.30, 5704),
+        _web(8000, 12, 48, 120),
+    ),
+    "clueweb": DatasetSpec(
+        "clueweb", "big", "ClueWeb12 web graph",
+        PaperStats(978_408_098, 42_574_107_469, 43.51, 4244),
+        _web(20000, 10, 42, 80),
+    ),
+}
+
+SMALL_DATASETS = [s.name for s in DATASETS.values() if s.group == "small"]
+BIG_DATASETS = [s.name for s in DATASETS.values() if s.group == "big"]
+
+
+def dataset_names():
+    """All registry names, small group first."""
+    return SMALL_DATASETS + BIG_DATASETS
+
+
+def get_spec(name):
+    """Look up a :class:`DatasetSpec`; raises on unknown names."""
+    try:
+        return DATASETS[name.lower()]
+    except KeyError:
+        raise ReproError(
+            "unknown dataset %r (known: %s)" % (name, ", ".join(DATASETS))
+        ) from None
+
+
+def generate_dataset(name, scale=1.0, seed=None):
+    """Return ``(edges, num_nodes)`` for the named proxy."""
+    return get_spec(name).generate(scale, seed)
+
+
+def load_dataset(name, scale=1.0, seed=None, *, cache_dir=None,
+                 block_size=None):
+    """Build (or reopen) the named proxy as :class:`GraphStorage`.
+
+    With ``cache_dir`` the tables are built once per ``(name, scale,
+    seed)`` and reopened on later calls -- benchmark runs use this to
+    avoid regenerating graphs.  Without it the tables live in memory.
+    """
+    spec = get_spec(name)
+    if seed is None:
+        seed = _default_seed(spec.name)
+    kwargs = {}
+    if block_size is not None:
+        kwargs["block_size"] = block_size
+    if cache_dir is None:
+        edges, n = spec.generate(scale, seed)
+        return GraphStorage.from_edges(edges, n, **kwargs)
+    os.makedirs(cache_dir, exist_ok=True)
+    prefix = os.path.join(
+        cache_dir, "%s_s%s_r%d" % (spec.name, str(scale).replace(".", "_"),
+                                   seed)
+    )
+    if os.path.exists(prefix + ".nodes") and os.path.exists(prefix + ".edges"):
+        return GraphStorage.open(prefix, **kwargs)
+    edges, n = spec.generate(scale, seed)
+    storage = GraphStorage.from_edges(edges, n, path=prefix, **kwargs)
+    storage.close()
+    return GraphStorage.open(prefix, **kwargs)

@@ -1,0 +1,51 @@
+"""Node and edge sampling for the scalability studies (Section VI-C).
+
+The paper varies ``|V|`` and ``|E|`` from 20% to 100%: *"When sampling
+nodes, we keep the induced subgraph of the nodes, and when sampling edges,
+we keep the incident nodes of the edges."*  Both samplers return
+``(edges, num_nodes)`` with node ids compacted to ``0..n'-1`` preserving
+the original relative order (so scan-order effects survive sampling).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def _compact(edges, kept_nodes):
+    """Relabel ``kept_nodes`` (any iterable) to 0..n'-1 in sorted order."""
+    ordered = sorted(kept_nodes)
+    remap = {v: i for i, v in enumerate(ordered)}
+    compacted = []
+    for u, v in edges:
+        a, b = remap[u], remap[v]
+        compacted.append((a, b) if a < b else (b, a))
+    return sorted(set(compacted)), len(ordered)
+
+
+def sample_nodes(edges, num_nodes, fraction, seed=0):
+    """Keep a random node subset and its induced subgraph."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1], got %r" % (fraction,))
+    if fraction == 1:
+        return sorted(set(edges)), num_nodes
+    rng = random.Random(seed)
+    keep_count = max(1, int(round(num_nodes * fraction)))
+    kept = set(rng.sample(range(num_nodes), keep_count))
+    induced = [(u, v) for u, v in edges if u in kept and v in kept]
+    return _compact(induced, kept)
+
+
+def sample_edges(edges, fraction, seed=0):
+    """Keep a random edge subset and the nodes they touch."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1], got %r" % (fraction,))
+    edges = sorted(set(edges))
+    if fraction == 1:
+        nodes = {u for u, _ in edges} | {v for _, v in edges}
+        return _compact(edges, nodes)
+    rng = random.Random(seed)
+    keep_count = max(1, int(round(len(edges) * fraction)))
+    kept_edges = rng.sample(edges, keep_count)
+    nodes = {u for u, _ in kept_edges} | {v for _, v in kept_edges}
+    return _compact(kept_edges, nodes)

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+All package-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this library with a single handler while still
+letting programming errors (TypeError, ...) propagate untouched.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class StorageError(ReproError):
+    """A storage-level operation failed (bad offsets, closed device, ...)."""
+
+
+class CorruptStorageError(StorageError):
+    """An on-disk table failed validation (bad magic, truncated data, ...)."""
+
+
+class GraphError(ReproError):
+    """An operation received a graph it cannot work with."""
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge scheduled for deletion does not exist in the graph."""
+
+
+class EdgeExistsError(GraphError):
+    """An edge scheduled for insertion already exists in the graph."""

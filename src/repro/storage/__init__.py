@@ -1,0 +1,33 @@
+"""Storage substrate: block I/O model, on-disk tables, dynamic overlay."""
+
+from repro.storage.blockio import (
+    DEFAULT_BLOCK_SIZE,
+    BlockDevice,
+    FileBlockDevice,
+    IOStats,
+    MemoryBlockDevice,
+)
+from repro.storage.buffer import EdgeBuffer
+from repro.storage.builder import build_storage
+from repro.storage.cache import BufferPool, buffered_storage
+from repro.storage.dynamic import DynamicGraph
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph, normalize_edges
+from repro.storage.partition import PartitionStore
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "BlockDevice",
+    "MemoryBlockDevice",
+    "FileBlockDevice",
+    "IOStats",
+    "GraphStorage",
+    "build_storage",
+    "BufferPool",
+    "buffered_storage",
+    "EdgeBuffer",
+    "DynamicGraph",
+    "MemoryGraph",
+    "normalize_edges",
+    "PartitionStore",
+]

@@ -1,0 +1,320 @@
+"""Block-level I/O devices with external-memory accounting.
+
+The paper analyses algorithms in the external memory model of Aggarwal and
+Vitter: memory holds a bounded number of blocks of size ``B``; a read I/O
+loads one block from disk and a write I/O stores one block.  This module
+provides byte-addressable devices that count I/Os in exactly those units.
+
+Counting rules
+--------------
+* A read of the byte range ``[offset, offset + size)`` touches the blocks
+  ``offset // B .. (offset + size - 1) // B``.  Each touched block costs one
+  read I/O unless it is the block currently held in the device's one-block
+  read cache.  After the read, the last touched block stays cached, so a
+  sequential scan of ``N`` bytes costs exactly ``ceil(N / B)`` read I/Os
+  regardless of how the scan is chopped into calls.
+* A write of ``[offset, offset + size)`` costs one write I/O per touched
+  block.  Writes invalidate an overlapping read cache.
+
+Two backends share this accounting logic:
+
+* :class:`MemoryBlockDevice` keeps data in a ``bytearray``.  Tests and
+  property-based suites use it so the I/O *model* is exercised without
+  filesystem noise.
+* :class:`FileBlockDevice` stores data in a real file (used by benchmarks
+  and examples).  Reads are served through the same one-block cache, which
+  also keeps the syscall count reasonable for per-node access patterns.
+
+Several devices may share one :class:`IOStats` instance; this is how a
+graph's node table and edge table report a single combined I/O figure.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import StorageError
+
+DEFAULT_BLOCK_SIZE = 4096
+
+
+class IOStats:
+    """Mutable counters for block-level I/O.
+
+    Attributes mirror what the paper reports: the number of read and write
+    I/Os (in blocks) plus the raw byte counts for diagnostics.
+    """
+
+    __slots__ = ("read_ios", "write_ios", "bytes_read", "bytes_written")
+
+    def __init__(self, read_ios=0, write_ios=0, bytes_read=0, bytes_written=0):
+        self.read_ios = read_ios
+        self.write_ios = write_ios
+        self.bytes_read = bytes_read
+        self.bytes_written = bytes_written
+
+    @property
+    def total_ios(self):
+        """Read plus write I/Os."""
+        return self.read_ios + self.write_ios
+
+    def reset(self):
+        """Zero every counter in place."""
+        self.read_ios = 0
+        self.write_ios = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def snapshot(self):
+        """Return an independent copy of the current counters."""
+        return IOStats(
+            self.read_ios, self.write_ios, self.bytes_read, self.bytes_written
+        )
+
+    def delta_since(self, snapshot):
+        """Return counters accumulated since ``snapshot`` was taken."""
+        return IOStats(
+            self.read_ios - snapshot.read_ios,
+            self.write_ios - snapshot.write_ios,
+            self.bytes_read - snapshot.bytes_read,
+            self.bytes_written - snapshot.bytes_written,
+        )
+
+    def __add__(self, other):
+        if not isinstance(other, IOStats):
+            return NotImplemented
+        return IOStats(
+            self.read_ios + other.read_ios,
+            self.write_ios + other.write_ios,
+            self.bytes_read + other.bytes_read,
+            self.bytes_written + other.bytes_written,
+        )
+
+    def __sub__(self, other):
+        if not isinstance(other, IOStats):
+            return NotImplemented
+        return IOStats(
+            self.read_ios - other.read_ios,
+            self.write_ios - other.write_ios,
+            self.bytes_read - other.bytes_read,
+            self.bytes_written - other.bytes_written,
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, IOStats):
+            return NotImplemented
+        return (
+            self.read_ios == other.read_ios
+            and self.write_ios == other.write_ios
+            and self.bytes_read == other.bytes_read
+            and self.bytes_written == other.bytes_written
+        )
+
+    def __repr__(self):
+        return (
+            "IOStats(read_ios={}, write_ios={}, bytes_read={}, "
+            "bytes_written={})".format(
+                self.read_ios, self.write_ios, self.bytes_read, self.bytes_written
+            )
+        )
+
+
+class BlockDevice:
+    """Base class implementing the block accounting over a byte store.
+
+    Subclasses provide ``_read_raw``/``_write_raw``/``_size_raw``.  The base
+    class owns the one-block read cache and the I/O counters.
+    """
+
+    def __init__(self, block_size=DEFAULT_BLOCK_SIZE, stats=None):
+        if block_size <= 0:
+            raise ValueError("block_size must be positive, got %r" % (block_size,))
+        self.block_size = block_size
+        self.stats = stats if stats is not None else IOStats()
+        self._cached_block = -1
+        self._cached_data = b""
+        self._closed = False
+
+    # -- abstract backend hooks -------------------------------------------
+    def _read_raw(self, offset, size):
+        raise NotImplementedError
+
+    def _write_raw(self, offset, data):
+        raise NotImplementedError
+
+    def _size_raw(self):
+        raise NotImplementedError
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def size(self):
+        """Current length of the device in bytes."""
+        self._check_open()
+        return self._size_raw()
+
+    def read_at(self, offset, size):
+        """Read ``size`` bytes starting at ``offset``, counting block I/Os."""
+        self._check_open()
+        if offset < 0 or size < 0:
+            raise StorageError(
+                "invalid read range offset=%d size=%d" % (offset, size)
+            )
+        if size == 0:
+            return b""
+        end = offset + size
+        if end > self._size_raw():
+            raise StorageError(
+                "read past end of device: [%d, %d) but size is %d"
+                % (offset, end, self._size_raw())
+            )
+        block_size = self.block_size
+        first = offset // block_size
+        last = (end - 1) // block_size
+        # Serve a read fully contained in the cached block without touching
+        # the backend at all.
+        if first == last == self._cached_block:
+            lo = offset - first * block_size
+            return self._cached_data[lo:lo + size]
+        touched = last - first + 1
+        if self._cached_block == first:
+            touched -= 1
+        self.stats.read_ios += touched
+        self.stats.bytes_read += size
+        data = self._read_raw(offset, size)
+        self._cache_block(last)
+        return data
+
+    def write_at(self, offset, data):
+        """Write ``data`` at ``offset``, counting one write I/O per block."""
+        self._check_open()
+        if offset < 0:
+            raise StorageError("invalid write offset %d" % offset)
+        if not data:
+            return
+        end = offset + len(data)
+        block_size = self.block_size
+        first = offset // block_size
+        last = (end - 1) // block_size
+        self.stats.write_ios += last - first + 1
+        self.stats.bytes_written += len(data)
+        if first <= self._cached_block <= last:
+            self._cached_block = -1
+            self._cached_data = b""
+        self._write_raw(offset, bytes(data))
+
+    def append(self, data):
+        """Write ``data`` at the current end of the device."""
+        self.write_at(self.size, data)
+
+    def drop_cache(self):
+        """Forget the cached block (next read of it is charged again)."""
+        self._cached_block = -1
+        self._cached_data = b""
+
+    def close(self):
+        """Release backend resources; further access raises StorageError."""
+        self._closed = True
+        self.drop_cache()
+
+    @property
+    def closed(self):
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- internals ----------------------------------------------------------
+    def _cache_block(self, block_index):
+        start = block_index * self.block_size
+        stop = min(start + self.block_size, self._size_raw())
+        if stop <= start:
+            self.drop_cache()
+            return
+        self._cached_block = block_index
+        self._cached_data = self._read_raw(start, stop - start)
+
+    def _check_open(self):
+        if self._closed:
+            raise StorageError("device is closed")
+
+
+class MemoryBlockDevice(BlockDevice):
+    """A block device backed by an in-memory ``bytearray``."""
+
+    def __init__(self, data=b"", block_size=DEFAULT_BLOCK_SIZE, stats=None):
+        super().__init__(block_size=block_size, stats=stats)
+        self._data = bytearray(data)
+
+    def _read_raw(self, offset, size):
+        return bytes(self._data[offset:offset + size])
+
+    def _write_raw(self, offset, data):
+        end = offset + len(data)
+        if end > len(self._data):
+            self._data.extend(b"\x00" * (end - len(self._data)))
+        self._data[offset:end] = data
+
+    def _size_raw(self):
+        return len(self._data)
+
+    def getvalue(self):
+        """Return the full backing buffer (test helper; not I/O counted)."""
+        return bytes(self._data)
+
+
+class FileBlockDevice(BlockDevice):
+    """A block device backed by a file on disk.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path of the backing file.
+    mode:
+        ``"r"`` opens read-only, ``"r+"`` read-write (file must exist),
+        ``"w+"`` creates or truncates.
+    """
+
+    def __init__(self, path, mode="r", block_size=DEFAULT_BLOCK_SIZE, stats=None):
+        super().__init__(block_size=block_size, stats=stats)
+        if mode not in ("r", "r+", "w+"):
+            raise ValueError("mode must be one of 'r', 'r+', 'w+', got %r" % mode)
+        self.path = os.fspath(path)
+        self.mode = mode
+        flags = {
+            "r": os.O_RDONLY,
+            "r+": os.O_RDWR,
+            "w+": os.O_RDWR | os.O_CREAT | os.O_TRUNC,
+        }[mode]
+        self._fd = os.open(self.path, flags)
+        self._file_size = os.fstat(self._fd).st_size
+
+    def _read_raw(self, offset, size):
+        data = os.pread(self._fd, size, offset)
+        if len(data) != size:
+            raise StorageError(
+                "short read from %s: wanted %d bytes at %d, got %d"
+                % (self.path, size, offset, len(data))
+            )
+        return data
+
+    def _write_raw(self, offset, data):
+        if self.mode == "r":
+            raise StorageError("device %s is read-only" % self.path)
+        written = os.pwrite(self._fd, data, offset)
+        if written != len(data):
+            raise StorageError("short write to %s" % self.path)
+        self._file_size = max(self._file_size, offset + len(data))
+
+    def _size_raw(self):
+        return self._file_size
+
+    def close(self):
+        """Close the backing file descriptor."""
+        if not self._closed:
+            os.close(self._fd)
+        super().close()

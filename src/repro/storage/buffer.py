@@ -1,0 +1,115 @@
+"""In-memory buffer of pending edge insertions and deletions.
+
+Section V of the paper: *"we allow a memory buffer to maintain the latest
+inserted / deleted edges.  We also index the edges in the memory buffer.
+When the buffer is full, we update the graph on disk and clear the
+buffer."*
+
+:class:`EdgeBuffer` stores the *net* difference against the base storage.
+Inserting a previously deleted edge (or vice versa) cancels out, so the
+buffer never records contradictory state for an edge.
+"""
+
+from __future__ import annotations
+
+
+class EdgeBuffer:
+    """Net overlay of edge insertions/deletions keyed by endpoint."""
+
+    def __init__(self, capacity=None):
+        """``capacity`` bounds the number of pending undirected edges;
+        ``None`` means unbounded."""
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self._inserted = {}
+        self._deleted = {}
+        self._pending = 0
+
+    # -- recording ----------------------------------------------------------
+    def record_insert(self, u, v):
+        """Record insertion of (u, v); cancels a pending deletion."""
+        if self._pair_in(self._deleted, u, v):
+            self._pair_discard(self._deleted, u, v)
+            self._pending -= 1
+        else:
+            self._pair_add(self._inserted, u, v)
+            self._pending += 1
+
+    def record_delete(self, u, v):
+        """Record deletion of (u, v); cancels a pending insertion."""
+        if self._pair_in(self._inserted, u, v):
+            self._pair_discard(self._inserted, u, v)
+            self._pending -= 1
+        else:
+            self._pair_add(self._deleted, u, v)
+            self._pending += 1
+
+    # -- queries ------------------------------------------------------------
+    def is_inserted(self, u, v):
+        """True when (u, v) is a pending insertion."""
+        return self._pair_in(self._inserted, u, v)
+
+    def is_deleted(self, u, v):
+        """True when (u, v) is a pending deletion."""
+        return self._pair_in(self._deleted, u, v)
+
+    def touches(self, v):
+        """True when node ``v`` has any pending operation."""
+        return v in self._inserted or v in self._deleted
+
+    def degree_delta(self, v):
+        """Signed change to ``deg(v)`` from pending operations."""
+        return (len(self._inserted.get(v, ()))
+                - len(self._deleted.get(v, ())))
+
+    def adjust(self, v, base_neighbors):
+        """Apply pending operations of node ``v`` to its base adjacency.
+
+        Returns a sorted list of neighbour ids.  When ``v`` has no pending
+        operations the base sequence is returned unchanged (no copy).
+        """
+        inserted = self._inserted.get(v)
+        deleted = self._deleted.get(v)
+        if not inserted and not deleted:
+            return base_neighbors
+        merged = set(base_neighbors)
+        if deleted:
+            merged -= deleted
+        if inserted:
+            merged |= inserted
+        return sorted(merged)
+
+    @property
+    def is_full(self):
+        """True when the buffer reached its capacity."""
+        return self.capacity is not None and self._pending >= self.capacity
+
+    def __len__(self):
+        """Number of pending undirected edge operations."""
+        return self._pending
+
+    def clear(self):
+        """Drop every pending operation."""
+        self._inserted.clear()
+        self._deleted.clear()
+        self._pending = 0
+
+    # -- internals ------------------------------------------------------------
+    @staticmethod
+    def _pair_add(table, u, v):
+        table.setdefault(u, set()).add(v)
+        table.setdefault(v, set()).add(u)
+
+    @staticmethod
+    def _pair_discard(table, u, v):
+        for a, b in ((u, v), (v, u)):
+            nbrs = table.get(a)
+            if nbrs is not None:
+                nbrs.discard(b)
+                if not nbrs:
+                    del table[a]
+
+    @staticmethod
+    def _pair_in(table, u, v):
+        return v in table.get(u, ())

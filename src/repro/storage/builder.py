@@ -1,0 +1,137 @@
+"""Semi-external construction of on-disk graph tables.
+
+:meth:`GraphStorage.from_edges` materializes adjacency in memory, which is
+fine for graphs that fit.  This module builds the same tables from an edge
+stream with only O(n) node state plus a bounded placement buffer, the way a
+semi-external system ingests a graph larger than memory:
+
+1. one pass over the edges counts degrees (O(n) memory);
+2. node ranges are formed so each range's adjacency fits the placement
+   budget;
+3. one pass per range collects that range's adjacency in memory and appends
+   it to the edge table sequentially.
+
+The edge source must therefore be *re-iterable*: a sequence, a callable
+returning a fresh iterator, or an edge-list file object from
+:mod:`repro.datasets.io`.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.errors import GraphError
+from repro.storage import layout
+from repro.storage.blockio import DEFAULT_BLOCK_SIZE, IOStats
+from repro.storage.graphstore import GraphStorage, _create_devices
+
+DEFAULT_PLACEMENT_BUDGET = 64 << 20
+
+
+def _edge_iterator(source):
+    """Return a fresh iterator over an edge source."""
+    if callable(source):
+        return source()
+    return iter(source)
+
+
+def count_degrees(edge_source, num_nodes=None):
+    """One pass over the edges, returning ``(degrees, num_nodes)``.
+
+    The stream must be *clean*: no self loops, each undirected edge listed
+    exactly once.  Use :func:`repro.storage.memgraph.normalize_edges` first
+    when the input may be dirty.
+    """
+    if num_nodes is None:
+        max_node = -1
+        edges = list(_edge_iterator(edge_source))
+        for u, v in edges:
+            if u > max_node:
+                max_node = u
+            if v > max_node:
+                max_node = v
+        num_nodes = max_node + 1
+        edge_source = edges
+    degrees = array("i", bytes(4 * num_nodes))
+    for u, v in _edge_iterator(edge_source):
+        if u == v:
+            raise GraphError("self loop (%d, %d) in edge stream" % (u, v))
+        if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+            raise GraphError(
+                "edge (%d, %d) out of range for n=%d" % (u, v, num_nodes)
+            )
+        degrees[u] += 1
+        degrees[v] += 1
+    return degrees, num_nodes, edge_source
+
+
+def build_storage(edge_source, num_nodes=None, *, path=None,
+                  block_size=DEFAULT_BLOCK_SIZE, stats=None,
+                  placement_budget=DEFAULT_PLACEMENT_BUDGET,
+                  sort_neighbors=True):
+    """Build :class:`GraphStorage` from a clean re-iterable edge stream.
+
+    Parameters
+    ----------
+    edge_source:
+        Sequence of ``(u, v)`` pairs, or a callable returning an iterator.
+        Each undirected edge must appear exactly once, with no self loops.
+    num_nodes:
+        Number of nodes; inferred from the stream when omitted.
+    placement_budget:
+        Bytes of adjacency buffered in memory per placement pass.  Smaller
+        budgets mean more passes over the edge stream -- the classic
+        semi-external trade-off.
+    """
+    if placement_budget < layout.EDGE_ENTRY_SIZE:
+        raise ValueError("placement_budget too small")
+    stats = stats if stats is not None else IOStats()
+    degrees, num_nodes, edge_source = count_degrees(edge_source, num_nodes)
+
+    node_dev, edge_dev = _create_devices(path, block_size, stats)
+
+    # Write the node table sequentially from the degree prefix sums.
+    chunk = bytearray()
+    position = layout.HEADER_SIZE
+    offset_entries = 0
+    for v in range(num_nodes):
+        chunk += layout.pack_node_entry(offset_entries, degrees[v])
+        offset_entries += degrees[v]
+        if len(chunk) >= 1 << 18:
+            node_dev.write_at(position, bytes(chunk))
+            position += len(chunk)
+            chunk.clear()
+    if chunk:
+        node_dev.write_at(position, bytes(chunk))
+    num_arcs = offset_entries
+    node_dev.write_at(0, layout.pack_header(layout.TABLE_NODE,
+                                            num_nodes, num_arcs))
+
+    # Place adjacency range by range, appending to the edge table.
+    budget_entries = max(1, placement_budget // layout.EDGE_ENTRY_SIZE)
+    edge_position = layout.HEADER_SIZE
+    lo = 0
+    while lo < num_nodes:
+        hi = lo
+        span = 0
+        while hi < num_nodes and (span == 0
+                                  or span + degrees[hi] <= budget_entries):
+            span += degrees[hi]
+            hi += 1
+        buckets = [[] for _ in range(hi - lo)]
+        for u, v in _edge_iterator(edge_source):
+            if lo <= u < hi:
+                buckets[u - lo].append(v)
+            if lo <= v < hi:
+                buckets[v - lo].append(u)
+        payload = bytearray()
+        for bucket in buckets:
+            if sort_neighbors:
+                bucket.sort()
+            payload += array(layout.EDGE_TYPECODE, bucket).tobytes()
+        edge_dev.write_at(edge_position, bytes(payload))
+        edge_position += len(payload)
+        lo = hi
+    edge_dev.write_at(0, layout.pack_header(layout.TABLE_EDGE,
+                                            num_arcs, num_nodes))
+    return GraphStorage(node_dev, edge_dev, num_nodes, num_arcs)

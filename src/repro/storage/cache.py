@@ -1,0 +1,149 @@
+"""An optional LRU buffer pool over a block device.
+
+The paper's algorithms deliberately need no buffer pool -- SemiCore scans
+sequentially and SemiCore* makes every read useful -- which is advantage
+A3 ("simple in-memory structure and data access").  To *measure* that
+claim, :class:`BufferPool` adds a classic page cache so benchmarks can
+show how little a cache helps the semi-external access patterns (see
+``benchmarks/bench_ablation_buffer_pool.py``).
+
+The pool shares the wrapped device's :class:`IOStats`; a pooled hit costs
+nothing, a miss costs one read I/O, exactly like the device's built-in
+one-block cache but with configurable capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import StorageError
+from repro.storage.blockio import BlockDevice
+
+
+class BufferPool(BlockDevice):
+    """LRU cache of ``capacity_blocks`` blocks in front of a device."""
+
+    def __init__(self, device, capacity_blocks=64):
+        if capacity_blocks < 1:
+            raise ValueError("capacity_blocks must be positive")
+        super().__init__(block_size=device.block_size, stats=device.stats)
+        self._device = device
+        self._capacity = capacity_blocks
+        self._pool = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- BlockDevice backend hooks (used by write paths) ------------------
+    def _read_raw(self, offset, size):
+        return self._device._read_raw(offset, size)
+
+    def _write_raw(self, offset, data):
+        self._device._write_raw(offset, data)
+
+    def _size_raw(self):
+        return self._device._size_raw()
+
+    # -- pooled reads ---------------------------------------------------------
+    def read_at(self, offset, size):
+        """Read through the pool: one read I/O per missing block."""
+        self._check_open()
+        if offset < 0 or size < 0:
+            raise StorageError(
+                "invalid read range offset=%d size=%d" % (offset, size)
+            )
+        if size == 0:
+            return b""
+        end = offset + size
+        if end > self._size_raw():
+            raise StorageError(
+                "read past end of device: [%d, %d) but size is %d"
+                % (offset, end, self._size_raw())
+            )
+        block_size = self.block_size
+        first = offset // block_size
+        last = (end - 1) // block_size
+        pieces = []
+        for index in range(first, last + 1):
+            pieces.append(self._block(index))
+        data = b"".join(pieces)
+        lo = offset - first * block_size
+        return data[lo:lo + size]
+
+    def write_at(self, offset, data):
+        """Write through, updating or evicting overlapping pooled blocks."""
+        self._check_open()
+        if offset < 0:
+            raise StorageError("invalid write offset %d" % offset)
+        if not data:
+            return
+        end = offset + len(data)
+        block_size = self.block_size
+        first = offset // block_size
+        last = (end - 1) // block_size
+        for index in range(first, last + 1):
+            self._pool.pop(index, None)
+        self.stats.write_ios += last - first + 1
+        self.stats.bytes_written += len(data)
+        self._write_raw(offset, bytes(data))
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def capacity(self):
+        """Maximum number of resident blocks."""
+        return self._capacity
+
+    @property
+    def resident_blocks(self):
+        """Blocks currently held by the pool."""
+        return len(self._pool)
+
+    @property
+    def hit_rate(self):
+        """Fraction of block lookups served from the pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def drop_cache(self):
+        """Evict every pooled block."""
+        super().drop_cache()
+        self._pool.clear()
+
+    def close(self):
+        """Clear the pool and close this wrapper."""
+        self._pool.clear()
+        super().close()
+
+    # -- internals -------------------------------------------------------------
+    def _block(self, index):
+        cached = self._pool.get(index)
+        if cached is not None:
+            self._pool.move_to_end(index)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        start = index * self.block_size
+        stop = min(start + self.block_size, self._size_raw())
+        data = self._read_raw(start, stop - start)
+        self.stats.read_ios += 1
+        self.stats.bytes_read += len(data)
+        self._pool[index] = data
+        while len(self._pool) > self._capacity:
+            self._pool.popitem(last=False)
+        return data
+
+
+def buffered_storage(storage, capacity_blocks=64):
+    """Wrap a :class:`~repro.storage.GraphStorage` with buffer pools.
+
+    Returns a new storage object sharing the same I/O counters whose node
+    and edge tables are read through independent LRU pools.  The original
+    storage must stay open for the wrapper's lifetime.
+    """
+    from repro.storage.graphstore import GraphStorage
+
+    return GraphStorage(
+        BufferPool(storage._nodes, capacity_blocks),
+        BufferPool(storage._edges, capacity_blocks),
+        storage.num_nodes,
+        storage.num_arcs,
+    )

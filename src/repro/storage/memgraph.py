@@ -1,0 +1,178 @@
+"""A plain in-memory undirected graph.
+
+:class:`MemoryGraph` is the substrate for the in-memory baselines (IMCore,
+IMInsert, IMDelete) and the oracle used by the test suite.  It is a thin
+adjacency-list structure with the same neighbour semantics as the on-disk
+storage: undirected, no self loops, no parallel edges.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EdgeExistsError, EdgeNotFoundError, GraphError
+
+
+def normalize_edges(edges, num_nodes=None):
+    """Canonicalize an edge iterable for an undirected simple graph.
+
+    Self loops are dropped, duplicates (in either orientation) are removed
+    and each edge is returned as ``(min(u, v), max(u, v))``.  Returns the
+    tuple ``(edge_list, num_nodes)`` where ``num_nodes`` is the supplied
+    value or ``1 + max node id`` (0 for an empty edge set).
+    """
+    seen = set()
+    result = []
+    max_node = -1
+    for u, v in edges:
+        if u < 0 or v < 0:
+            raise GraphError("negative node id in edge (%r, %r)" % (u, v))
+        if u == v:
+            continue
+        if u > v:
+            u, v = v, u
+        key = (u, v)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(key)
+        if v > max_node:
+            max_node = v
+    inferred = max_node + 1
+    if num_nodes is None:
+        num_nodes = inferred
+    elif num_nodes < inferred:
+        raise GraphError(
+            "num_nodes=%d but edges reference node %d" % (num_nodes, max_node)
+        )
+    return result, num_nodes
+
+
+class MemoryGraph:
+    """An undirected simple graph held fully in memory."""
+
+    def __init__(self, num_nodes=0):
+        if num_nodes < 0:
+            raise GraphError("num_nodes must be non-negative")
+        self._adj = [set() for _ in range(num_nodes)]
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges, num_nodes=None):
+        """Build a graph from an iterable of ``(u, v)`` pairs."""
+        edge_list, n = normalize_edges(edges, num_nodes)
+        graph = cls(n)
+        for u, v in edge_list:
+            graph._adj[u].add(v)
+            graph._adj[v].add(u)
+        return graph
+
+    @classmethod
+    def from_storage(cls, storage):
+        """Materialize an on-disk graph in memory (counts the scan I/Os)."""
+        graph = cls(storage.num_nodes)
+        for v, nbrs in storage.iter_adjacency():
+            graph._adj[v].update(nbrs)
+        return graph
+
+    # -- basic queries -------------------------------------------------------
+    @property
+    def num_nodes(self):
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self):
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj) // 2
+
+    @property
+    def num_arcs(self):
+        """Number of adjacency entries (twice the edge count)."""
+        return sum(len(nbrs) for nbrs in self._adj)
+
+    def degree(self, v):
+        """Degree of node ``v``."""
+        return len(self._adj[v])
+
+    def degrees(self):
+        """Degrees of all nodes as a list indexed by node id."""
+        return [len(nbrs) for nbrs in self._adj]
+
+    def read_degrees(self):
+        """Degrees as an ``array('i')``.
+
+        Storage-protocol alias of :meth:`degrees`, so in-memory graphs can
+        be passed to the semi-external algorithms (useful in tests and for
+        small dynamic workloads that never touch disk).
+        """
+        from array import array
+
+        return array("i", (len(nbrs) for nbrs in self._adj))
+
+    def neighbors(self, v):
+        """Neighbours of ``v`` in ascending order."""
+        return sorted(self._adj[v])
+
+    def has_edge(self, u, v):
+        """True when the undirected edge (u, v) is present."""
+        if u >= len(self._adj) or v >= len(self._adj) or u < 0 or v < 0:
+            return False
+        return v in self._adj[u]
+
+    def edges(self):
+        """Yield each undirected edge once as ``(u, v)`` with ``u < v``."""
+        for u, nbrs in enumerate(self._adj):
+            for v in sorted(nbrs):
+                if u < v:
+                    yield (u, v)
+
+    def iter_adjacency(self, start=0, stop=None):
+        """Yield ``(v, neighbours)`` for nodes in ``[start, stop)``."""
+        if stop is None:
+            stop = len(self._adj)
+        for v in range(start, stop):
+            yield v, sorted(self._adj[v])
+
+    # -- mutation -------------------------------------------------------------
+    def add_node(self):
+        """Append a fresh isolated node and return its id."""
+        self._adj.append(set())
+        return len(self._adj) - 1
+
+    def insert_edge(self, u, v):
+        """Insert the undirected edge (u, v); raises on loops/duplicates."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphError("self loop (%d, %d) not allowed" % (u, v))
+        if v in self._adj[u]:
+            raise EdgeExistsError("edge (%d, %d) already present" % (u, v))
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def delete_edge(self, u, v):
+        """Delete the undirected edge (u, v); raises if absent."""
+        self._check_node(u)
+        self._check_node(v)
+        if v not in self._adj[u]:
+            raise EdgeNotFoundError("edge (%d, %d) not present" % (u, v))
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def copy(self):
+        """Deep copy of the graph."""
+        clone = MemoryGraph(len(self._adj))
+        clone._adj = [set(nbrs) for nbrs in self._adj]
+        return clone
+
+    # -- internals -------------------------------------------------------------
+    def _check_node(self, v):
+        if not 0 <= v < len(self._adj):
+            raise GraphError("node %d out of range [0, %d)" % (v, len(self._adj)))
+
+    def __eq__(self, other):
+        if not isinstance(other, MemoryGraph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self):
+        return "MemoryGraph(n=%d, m=%d)" % (self.num_nodes, self.num_edges)

@@ -1,0 +1,91 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import strategies as st
+
+from repro.datasets.generators import paper_example_graph
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+
+def make_random_edges(rng, n, p):
+    """Gnp edges with an explicit RNG (deterministic test graphs)."""
+    return [(u, v) for u in range(n) for v in range(u + 1, n)
+            if rng.random() < p]
+
+
+def nx_core_numbers(edges, n):
+    """Oracle core numbers via networkx."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    table = nx.core_number(graph)
+    return [table[v] for v in range(n)]
+
+
+@st.composite
+def graph_edges(draw, max_nodes=28, max_extra_edges=None):
+    """Hypothesis strategy: a random simple graph as ``(edges, n)``."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    if not possible:
+        return [], n
+    count = draw(st.integers(min_value=0, max_value=len(possible)))
+    indexes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(possible) - 1),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    return [possible[i] for i in indexes], n
+
+
+@pytest.fixture
+def paper_graph():
+    """Edges and node count of the Fig. 1 sample graph."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def paper_storage(paper_graph):
+    """The Fig. 1 graph as memory-backed storage."""
+    edges, n = paper_graph
+    return GraphStorage.from_edges(edges, n)
+
+
+@pytest.fixture(params=["memory", "file"])
+def storage_factory(request, tmp_path):
+    """Build GraphStorage on either backend; parametrized over both."""
+    counter = {"n": 0}
+
+    def build(edges, n=None, **kwargs):
+        if request.param == "memory":
+            return GraphStorage.from_edges(edges, n, **kwargs)
+        counter["n"] += 1
+        prefix = tmp_path / ("graph_%d" % counter["n"])
+        return GraphStorage.from_edges(edges, n, path=str(prefix), **kwargs)
+
+    build.backend = request.param
+    return build
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def medium_random_graph(rng):
+    """A fixed 120-node random graph used by several integration tests."""
+    n = 120
+    edges = make_random_edges(rng, n, 0.06)
+    return edges, n
+
+
+def as_memgraph(edges, n):
+    return MemoryGraph.from_edges(edges, n)

@@ -1,0 +1,79 @@
+"""Public API surface tests: imports, exports, errors, version."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_storage_exports(self):
+        from repro import storage
+        for name in storage.__all__:
+            assert hasattr(storage, name), name
+
+    def test_core_exports(self):
+        from repro import core
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_datasets_exports(self):
+        from repro import datasets
+        for name in datasets.__all__:
+            assert hasattr(datasets, name), name
+
+    def test_bench_exports(self):
+        from repro import bench
+        for name in bench.__all__:
+            assert hasattr(bench, name), name
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+        for name in ("StorageError", "CorruptStorageError", "GraphError",
+                     "EdgeNotFoundError", "EdgeExistsError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_corrupt_is_storage_error(self):
+        from repro.errors import CorruptStorageError, StorageError
+        assert issubclass(CorruptStorageError, StorageError)
+
+    def test_edge_errors_are_graph_errors(self):
+        from repro.errors import (
+            EdgeExistsError,
+            EdgeNotFoundError,
+            GraphError,
+        )
+        assert issubclass(EdgeNotFoundError, GraphError)
+        assert issubclass(EdgeExistsError, GraphError)
+
+    def test_one_handler_catches_everything(self):
+        with pytest.raises(repro.ReproError):
+            repro.GraphStorage.from_edges([(0, 5)], num_nodes=2)
+
+
+class TestEndToEndViaPublicApi:
+    def test_readme_snippet(self, tmp_path):
+        storage = repro.GraphStorage.from_edges(
+            [(0, 1), (0, 2), (1, 2), (2, 3)],
+            path=str(tmp_path / "mygraph"))
+        result = repro.semi_core_star(storage)
+        assert list(result.cores) == [2, 2, 2, 1]
+        assert result.kmax == 2
+        maintainer = repro.CoreMaintainer.from_storage(storage)
+        maintainer.insert_edge(1, 3)
+        maintainer.delete_edge(0, 2)
+        assert maintainer.k_core(2) == [1, 2, 3]
+
+    def test_load_dataset_public(self):
+        storage = repro.load_dataset("dblp", scale=0.05)
+        result = repro.im_core(storage)
+        assert result.kmax > 0

@@ -1,0 +1,232 @@
+"""Unit tests for the block I/O devices and their accounting model."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.blockio import (
+    FileBlockDevice,
+    IOStats,
+    MemoryBlockDevice,
+)
+
+
+class TestIOStats:
+    def test_initial_zero(self):
+        stats = IOStats()
+        assert stats.read_ios == 0
+        assert stats.write_ios == 0
+        assert stats.total_ios == 0
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats(read_ios=3)
+        snap = stats.snapshot()
+        stats.read_ios += 5
+        assert snap.read_ios == 3
+        assert stats.read_ios == 8
+
+    def test_delta_since(self):
+        stats = IOStats()
+        snap = stats.snapshot()
+        stats.read_ios += 4
+        stats.write_ios += 2
+        delta = stats.delta_since(snap)
+        assert delta.read_ios == 4
+        assert delta.write_ios == 2
+
+    def test_addition_and_subtraction(self):
+        a = IOStats(1, 2, 3, 4)
+        b = IOStats(10, 20, 30, 40)
+        total = a + b
+        assert total == IOStats(11, 22, 33, 44)
+        assert total - b == a
+
+    def test_reset(self):
+        stats = IOStats(5, 5, 5, 5)
+        stats.reset()
+        assert stats == IOStats()
+
+    def test_repr_mentions_counts(self):
+        assert "read_ios=7" in repr(IOStats(read_ios=7))
+
+
+class TestMemoryBlockDevice:
+    def test_roundtrip(self):
+        dev = MemoryBlockDevice(block_size=16)
+        dev.write_at(0, b"hello world")
+        assert dev.read_at(0, 11) == b"hello world"
+
+    def test_write_extends_device(self):
+        dev = MemoryBlockDevice(block_size=8)
+        dev.write_at(20, b"xy")
+        assert dev.size == 22
+        assert dev.read_at(18, 4) == b"\x00\x00xy"
+
+    def test_append(self):
+        dev = MemoryBlockDevice(block_size=8)
+        dev.append(b"abc")
+        dev.append(b"def")
+        assert dev.read_at(0, 6) == b"abcdef"
+
+    def test_read_past_end_raises(self):
+        dev = MemoryBlockDevice(b"abcd", block_size=4)
+        with pytest.raises(StorageError):
+            dev.read_at(2, 10)
+
+    def test_negative_offset_raises(self):
+        dev = MemoryBlockDevice(b"abcd", block_size=4)
+        with pytest.raises(StorageError):
+            dev.read_at(-1, 2)
+        with pytest.raises(StorageError):
+            dev.write_at(-1, b"x")
+
+    def test_zero_length_read_free(self):
+        dev = MemoryBlockDevice(b"abcd", block_size=4)
+        assert dev.read_at(0, 0) == b""
+        assert dev.stats.read_ios == 0
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            MemoryBlockDevice(block_size=0)
+
+    def test_closed_device_rejects_access(self):
+        dev = MemoryBlockDevice(b"abcd", block_size=4)
+        dev.close()
+        with pytest.raises(StorageError):
+            dev.read_at(0, 1)
+
+    def test_context_manager_closes(self):
+        with MemoryBlockDevice(b"abcd", block_size=4) as dev:
+            assert dev.read_at(0, 1) == b"a"
+        assert dev.closed
+
+
+class TestReadAccounting:
+    def test_single_block_read_costs_one(self):
+        dev = MemoryBlockDevice(bytes(64), block_size=16)
+        dev.read_at(0, 10)
+        assert dev.stats.read_ios == 1
+
+    def test_read_spanning_blocks_costs_each_block(self):
+        dev = MemoryBlockDevice(bytes(64), block_size=16)
+        dev.read_at(8, 20)  # touches blocks 0 and 1
+        assert dev.stats.read_ios == 2
+
+    def test_sequential_scan_costs_ceil_bytes_over_block(self):
+        dev = MemoryBlockDevice(bytes(1000), block_size=64)
+        for offset in range(0, 1000, 10):
+            dev.read_at(offset, min(10, 1000 - offset))
+        # ceil(1000 / 64) == 16 regardless of the 100 calls
+        assert dev.stats.read_ios == 16
+
+    def test_repeated_read_same_block_cached(self):
+        dev = MemoryBlockDevice(bytes(64), block_size=16)
+        dev.read_at(0, 8)
+        dev.read_at(4, 8)
+        dev.read_at(0, 16)
+        assert dev.stats.read_ios == 1
+
+    def test_random_access_charges_again(self):
+        dev = MemoryBlockDevice(bytes(160), block_size=16)
+        dev.read_at(0, 8)
+        dev.read_at(128, 8)
+        dev.read_at(0, 8)  # block 0 no longer cached
+        assert dev.stats.read_ios == 3
+
+    def test_cached_block_is_last_of_span(self):
+        dev = MemoryBlockDevice(bytes(64), block_size=16)
+        dev.read_at(0, 48)   # blocks 0..2, caches block 2
+        dev.read_at(32, 8)   # block 2, free
+        assert dev.stats.read_ios == 3
+
+    def test_drop_cache_charges_next_read(self):
+        dev = MemoryBlockDevice(bytes(32), block_size=16)
+        dev.read_at(0, 8)
+        dev.drop_cache()
+        dev.read_at(0, 8)
+        assert dev.stats.read_ios == 2
+
+    def test_bytes_read_accumulate(self):
+        dev = MemoryBlockDevice(bytes(64), block_size=16)
+        dev.read_at(0, 10)
+        dev.read_at(16, 6)  # different block: transferred from the backend
+        assert dev.stats.bytes_read == 16
+
+    def test_cache_hits_transfer_no_bytes(self):
+        dev = MemoryBlockDevice(bytes(64), block_size=16)
+        dev.read_at(0, 10)
+        dev.read_at(10, 6)  # inside the cached block
+        assert dev.stats.bytes_read == 10
+
+
+class TestWriteAccounting:
+    def test_write_costs_one_per_block(self):
+        dev = MemoryBlockDevice(block_size=16)
+        dev.write_at(0, bytes(40))  # blocks 0..2
+        assert dev.stats.write_ios == 3
+
+    def test_write_invalidates_overlapping_cache(self):
+        dev = MemoryBlockDevice(bytes(32), block_size=16)
+        assert dev.read_at(0, 4) == b"\x00" * 4
+        dev.write_at(2, b"zz")
+        assert dev.read_at(0, 4) == b"\x00\x00zz"
+        # cache was invalidated, so the re-read was charged
+        assert dev.stats.read_ios == 2
+
+    def test_empty_write_free(self):
+        dev = MemoryBlockDevice(block_size=16)
+        dev.write_at(0, b"")
+        assert dev.stats.write_ios == 0
+
+
+class TestSharedStats:
+    def test_two_devices_share_stats(self):
+        stats = IOStats()
+        a = MemoryBlockDevice(bytes(32), block_size=16, stats=stats)
+        b = MemoryBlockDevice(bytes(32), block_size=16, stats=stats)
+        a.read_at(0, 8)
+        b.read_at(0, 8)
+        assert stats.read_ios == 2
+
+
+class TestFileBlockDevice:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "dev.bin"
+        dev = FileBlockDevice(path, "w+", block_size=16)
+        dev.write_at(0, b"file backed data")
+        assert dev.read_at(5, 6) == b"backed"
+        dev.close()
+
+    def test_reopen_readonly(self, tmp_path):
+        path = tmp_path / "dev.bin"
+        with FileBlockDevice(path, "w+", block_size=16) as dev:
+            dev.write_at(0, b"persisted")
+        with FileBlockDevice(path, "r", block_size=16) as dev:
+            assert dev.read_at(0, 9) == b"persisted"
+            with pytest.raises(StorageError):
+                dev.write_at(0, b"nope")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            FileBlockDevice(tmp_path / "absent.bin", "r")
+
+    def test_invalid_mode(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileBlockDevice(tmp_path / "x.bin", "a+")
+
+    def test_accounting_matches_memory_device(self, tmp_path):
+        mem = MemoryBlockDevice(bytes(256), block_size=32)
+        fil = FileBlockDevice(tmp_path / "d.bin", "w+", block_size=32)
+        fil.write_at(0, bytes(256))
+        fil.stats.reset()
+        for offset, size in ((0, 10), (30, 10), (100, 50), (0, 5)):
+            mem.read_at(offset, size)
+            fil.read_at(offset, size)
+        assert mem.stats.read_ios == fil.stats.read_ios
+        fil.close()
+
+    def test_size_tracks_writes(self, tmp_path):
+        dev = FileBlockDevice(tmp_path / "d.bin", "w+", block_size=16)
+        assert dev.size == 0
+        dev.write_at(100, b"x")
+        assert dev.size == 101
+        dev.close()

@@ -1,0 +1,109 @@
+"""Unit tests for the pending-edge buffer."""
+
+import pytest
+
+from repro.storage.buffer import EdgeBuffer
+
+
+class TestRecording:
+    def test_insert_then_query(self):
+        buf = EdgeBuffer()
+        buf.record_insert(1, 2)
+        assert buf.is_inserted(1, 2)
+        assert buf.is_inserted(2, 1)
+        assert not buf.is_deleted(1, 2)
+        assert len(buf) == 1
+
+    def test_delete_then_query(self):
+        buf = EdgeBuffer()
+        buf.record_delete(3, 4)
+        assert buf.is_deleted(4, 3)
+        assert len(buf) == 1
+
+    def test_insert_cancels_pending_delete(self):
+        buf = EdgeBuffer()
+        buf.record_delete(1, 2)
+        buf.record_insert(2, 1)
+        assert not buf.is_deleted(1, 2)
+        assert not buf.is_inserted(1, 2)
+        assert len(buf) == 0
+
+    def test_delete_cancels_pending_insert(self):
+        buf = EdgeBuffer()
+        buf.record_insert(1, 2)
+        buf.record_delete(1, 2)
+        assert len(buf) == 0
+
+    def test_touches(self):
+        buf = EdgeBuffer()
+        buf.record_insert(1, 2)
+        assert buf.touches(1)
+        assert buf.touches(2)
+        assert not buf.touches(3)
+
+    def test_clear(self):
+        buf = EdgeBuffer()
+        buf.record_insert(0, 1)
+        buf.record_delete(2, 3)
+        buf.clear()
+        assert len(buf) == 0
+        assert not buf.touches(0)
+
+
+class TestAdjust:
+    def test_no_ops_returns_base_unchanged(self):
+        buf = EdgeBuffer()
+        base = [1, 2, 3]
+        assert buf.adjust(0, base) is base
+
+    def test_applies_insertions(self):
+        buf = EdgeBuffer()
+        buf.record_insert(0, 9)
+        assert buf.adjust(0, [1, 2]) == [1, 2, 9]
+
+    def test_applies_deletions(self):
+        buf = EdgeBuffer()
+        buf.record_delete(0, 2)
+        assert buf.adjust(0, [1, 2, 3]) == [1, 3]
+
+    def test_mixed(self):
+        buf = EdgeBuffer()
+        buf.record_delete(5, 1)
+        buf.record_insert(5, 7)
+        assert buf.adjust(5, [1, 2]) == [2, 7]
+
+    def test_degree_delta(self):
+        buf = EdgeBuffer()
+        buf.record_insert(0, 1)
+        buf.record_insert(0, 2)
+        buf.record_delete(0, 3)
+        assert buf.degree_delta(0) == 1
+        assert buf.degree_delta(1) == 1
+        assert buf.degree_delta(3) == -1
+        assert buf.degree_delta(9) == 0
+
+
+class TestCapacity:
+    def test_is_full(self):
+        buf = EdgeBuffer(capacity=2)
+        buf.record_insert(0, 1)
+        assert not buf.is_full
+        buf.record_insert(0, 2)
+        assert buf.is_full
+
+    def test_cancellation_frees_capacity(self):
+        buf = EdgeBuffer(capacity=1)
+        buf.record_insert(0, 1)
+        assert buf.is_full
+        buf.record_delete(0, 1)
+        assert not buf.is_full
+
+    def test_unbounded(self):
+        buf = EdgeBuffer(capacity=None)
+        for v in range(1, 100):
+            buf.record_insert(0, v)
+        assert not buf.is_full
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EdgeBuffer(capacity=0)

@@ -1,0 +1,83 @@
+"""Unit tests for the semi-external storage builder."""
+
+import pytest
+
+from repro.datasets.generators import erdos_renyi
+from repro.errors import GraphError
+from repro.storage.builder import build_storage, count_degrees
+from repro.storage.graphstore import GraphStorage
+
+EDGES = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]
+
+
+class TestCountDegrees:
+    def test_basic(self):
+        degrees, n, _ = count_degrees(EDGES, 5)
+        assert list(degrees) == [2, 2, 3, 2, 1]
+        assert n == 5
+
+    def test_infers_num_nodes(self):
+        degrees, n, _ = count_degrees(EDGES)
+        assert n == 5
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self loop"):
+            count_degrees([(1, 1)], 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError, match="out of range"):
+            count_degrees([(0, 9)], 3)
+
+    def test_callable_source(self):
+        degrees, n, _ = count_degrees(lambda: iter(EDGES), 5)
+        assert list(degrees) == [2, 2, 3, 2, 1]
+
+
+class TestBuildStorage:
+    def test_matches_in_memory_build(self, tmp_path):
+        reference = GraphStorage.from_edges(EDGES, 5)
+        built = build_storage(EDGES, 5)
+        for v in range(5):
+            assert list(built.neighbors(v)) == list(reference.neighbors(v))
+        assert built.num_arcs == reference.num_arcs
+
+    def test_multiple_placement_passes(self):
+        """A tiny budget forces one pass per node range."""
+        edges, n = erdos_renyi(60, 240, seed=3)
+        reference = GraphStorage.from_edges(edges, n)
+        built = build_storage(edges, n, placement_budget=64)
+        for v in range(n):
+            assert list(built.neighbors(v)) == list(reference.neighbors(v))
+
+    def test_file_backend(self, tmp_path):
+        prefix = str(tmp_path / "built")
+        built = build_storage(EDGES, 5, path=prefix)
+        built.close()
+        opened = GraphStorage.open(prefix)
+        assert opened.num_edges == 5
+        assert list(opened.neighbors(2)) == [0, 1, 3]
+
+    def test_isolated_tail_nodes(self):
+        built = build_storage(EDGES, 8)
+        assert built.num_nodes == 8
+        assert list(built.neighbors(7)) == []
+
+    def test_unsorted_option(self):
+        built = build_storage(EDGES, 5, sort_neighbors=False)
+        assert sorted(built.neighbors(2)) == [0, 1, 3]
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            build_storage(EDGES, 5, placement_budget=0)
+
+    def test_empty_stream(self):
+        built = build_storage([], 3)
+        assert built.num_nodes == 3
+        assert built.num_arcs == 0
+
+    def test_decomposition_agrees_with_reference(self):
+        from repro.core import semi_core_star
+        edges, n = erdos_renyi(80, 400, seed=9)
+        a = semi_core_star(GraphStorage.from_edges(edges, n))
+        b = semi_core_star(build_storage(edges, n, placement_budget=256))
+        assert list(a.cores) == list(b.cores)

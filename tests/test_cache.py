@@ -1,0 +1,123 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.core.semicore_star import semi_core_star
+from repro.datasets.generators import erdos_renyi
+from repro.errors import StorageError
+from repro.storage.blockio import MemoryBlockDevice
+from repro.storage.cache import BufferPool, buffered_storage
+from repro.storage.graphstore import GraphStorage
+
+
+def make_pool(data_size=1024, block_size=64, capacity=4):
+    backing = MemoryBlockDevice(bytes(range(256)) * (data_size // 256),
+                                block_size=block_size)
+    return BufferPool(backing, capacity_blocks=capacity), backing
+
+
+class TestBasics:
+    def test_reads_match_backing(self):
+        pool, backing = make_pool()
+        assert pool.read_at(10, 20) == backing._read_raw(10, 20)
+        assert pool.read_at(100, 200) == backing._read_raw(100, 200)
+
+    def test_hit_costs_nothing(self):
+        pool, _ = make_pool()
+        pool.stats.reset()
+        pool.read_at(0, 10)
+        assert pool.stats.read_ios == 1
+        pool.read_at(0, 10)
+        pool.read_at(20, 10)  # same block
+        assert pool.stats.read_ios == 1
+        assert pool.hits == 2
+        assert pool.misses == 1
+
+    def test_multi_block_read_counts_misses_only(self):
+        pool, _ = make_pool(capacity=8)
+        pool.stats.reset()
+        pool.read_at(0, 64)        # block 0
+        pool.read_at(0, 256)       # blocks 0..3: three new misses
+        assert pool.stats.read_ios == 4
+
+    def test_lru_eviction(self):
+        pool, _ = make_pool(capacity=2)
+        pool.stats.reset()
+        pool.read_at(0, 8)     # block 0
+        pool.read_at(64, 8)    # block 1
+        pool.read_at(128, 8)   # block 2 -> evicts block 0
+        pool.read_at(0, 8)     # miss again
+        assert pool.stats.read_ios == 4
+        assert pool.resident_blocks == 2
+
+    def test_lru_recency_updates_on_hit(self):
+        pool, _ = make_pool(capacity=2)
+        pool.read_at(0, 8)     # block 0
+        pool.read_at(64, 8)    # block 1
+        pool.read_at(0, 8)     # hit block 0 (now most recent)
+        pool.read_at(128, 8)   # evicts block 1
+        pool.stats.reset()
+        pool.read_at(0, 8)     # still resident
+        assert pool.stats.read_ios == 0
+
+    def test_hit_rate(self):
+        pool, _ = make_pool()
+        assert pool.hit_rate == 0.0
+        pool.read_at(0, 8)
+        pool.read_at(0, 8)
+        assert pool.hit_rate == 0.5
+
+    def test_write_invalidates(self):
+        pool, _ = make_pool()
+        before = pool.read_at(0, 4)
+        pool.write_at(0, b"ZZZZ")
+        assert pool.read_at(0, 4) == b"ZZZZ"
+        assert pool.read_at(0, 4) != before
+
+    def test_bad_ranges(self):
+        pool, _ = make_pool()
+        with pytest.raises(StorageError):
+            pool.read_at(-1, 4)
+        with pytest.raises(StorageError):
+            pool.read_at(0, 10_000)
+
+    def test_invalid_capacity(self):
+        _, backing = make_pool()
+        with pytest.raises(ValueError):
+            BufferPool(backing, capacity_blocks=0)
+
+    def test_drop_cache(self):
+        pool, _ = make_pool()
+        pool.read_at(0, 8)
+        pool.drop_cache()
+        assert pool.resident_blocks == 0
+
+
+class TestBufferedStorage:
+    def test_semantics_unchanged(self):
+        edges, n = erdos_renyi(200, 800, seed=1)
+        plain = GraphStorage.from_edges(edges, n, block_size=256)
+        pooled = buffered_storage(
+            GraphStorage.from_edges(edges, n, block_size=256),
+            capacity_blocks=16)
+        for v in (0, 5, 99, 199):
+            assert list(pooled.neighbors(v)) == list(plain.neighbors(v))
+        assert (list(semi_core_star(pooled).cores)
+                == list(semi_core_star(plain).cores))
+
+    def test_pool_reduces_repeated_access_ios(self):
+        edges, n = erdos_renyi(200, 800, seed=2)
+        base = GraphStorage.from_edges(edges, n, block_size=64)
+        pooled = buffered_storage(base, capacity_blocks=256)
+        pooled.io_stats.reset()
+        for _ in range(3):
+            for v in range(0, n, 7):
+                pooled.neighbors(v)
+        pooled_ios = pooled.io_stats.read_ios
+
+        plain = GraphStorage.from_edges(edges, n, block_size=64)
+        plain.io_stats.reset()
+        for _ in range(3):
+            for v in range(0, n, 7):
+                plain.neighbors(v)
+        assert pooled_ios < plain.io_stats.read_ios

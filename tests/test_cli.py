@@ -1,0 +1,142 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.io import write_edge_list
+from repro.datasets.generators import paper_example_graph
+
+
+@pytest.fixture
+def converted_graph(tmp_path):
+    """A stored copy of the Fig. 1 graph built through the CLI."""
+    edges, _ = paper_example_graph()
+    edge_file = tmp_path / "edges.txt"
+    write_edge_list(edge_file, edges)
+    prefix = str(tmp_path / "paper")
+    assert main(["convert", "--edges", str(edge_file),
+                 "--output", prefix]) == 0
+    return prefix
+
+
+class TestConvert:
+    def test_creates_tables(self, converted_graph, capsys):
+        import os
+        assert os.path.exists(converted_graph + ".nodes")
+        assert os.path.exists(converted_graph + ".edges")
+
+
+class TestStats:
+    def test_basic_stats(self, converted_graph, capsys):
+        assert main(["stats", "--graph", converted_graph]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out
+        assert "15" in out  # edge count
+
+    def test_with_cores(self, converted_graph, capsys):
+        assert main(["stats", "--graph", converted_graph, "--cores"]) == 0
+        out = capsys.readouterr().out
+        assert "kmax" in out
+        assert "3" in out
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("algorithm", ["semicore", "semicore+",
+                                           "semicore*", "emcore", "imcore"])
+    def test_each_algorithm(self, converted_graph, capsys, algorithm):
+        assert main(["decompose", "--graph", converted_graph,
+                     "--algorithm", algorithm]) == 0
+        out = capsys.readouterr().out
+        assert "kmax" in out
+
+    def test_writes_core_file(self, converted_graph, tmp_path, capsys):
+        out_file = tmp_path / "cores.txt"
+        assert main(["decompose", "--graph", converted_graph,
+                     "--output", str(out_file)]) == 0
+        lines = out_file.read_text().splitlines()
+        assert len(lines) == 9
+        cores = [int(line.split("\t")[1]) for line in lines]
+        assert cores == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+
+
+class TestMaintain:
+    def test_update_stream(self, converted_graph, tmp_path, capsys):
+        ops = tmp_path / "ops.txt"
+        ops.write_text("# paper walk-through\n- 0 1\n+ 4 6\n")
+        assert main(["maintain", "--graph", converted_graph,
+                     "--operations", str(ops), "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "applied 2 operations" in out
+        assert "kmax is now 3" in out
+
+    def test_bad_operation_line(self, converted_graph, tmp_path, capsys):
+        ops = tmp_path / "ops.txt"
+        ops.write_text("* 0 1\n")
+        assert main(["maintain", "--graph", converted_graph,
+                     "--operations", str(ops)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_generate_dataset(self, tmp_path, capsys):
+        prefix = str(tmp_path / "dblp")
+        assert main(["generate", "--dataset", "dblp", "--scale", "0.05",
+                     "--output", prefix]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--dataset", "nope",
+                  "--output", str(tmp_path / "x")])
+
+
+class TestVerify:
+    def test_clean_graph(self, converted_graph, capsys):
+        assert main(["verify", "--graph", converted_graph]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_with_core_file(self, converted_graph, tmp_path, capsys):
+        cores = tmp_path / "cores.txt"
+        assert main(["decompose", "--graph", converted_graph,
+                     "--output", str(cores)]) == 0
+        capsys.readouterr()
+        assert main(["verify", "--graph", converted_graph,
+                     "--cores", str(cores)]) == 0
+        assert "exact" in capsys.readouterr().out
+
+    def test_wrong_core_file_fails(self, converted_graph, tmp_path,
+                                   capsys):
+        cores = tmp_path / "cores.txt"
+        cores.write_text("".join("%d\t9\n" % v for v in range(9)))
+        assert main(["verify", "--graph", converted_graph,
+                     "--cores", str(cores)]) == 1
+        assert "issue" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_renders_saved_results(self, tmp_path, capsys):
+        from repro.bench.reporting import save_results
+        save_results(tmp_path / "fig.json", {
+            "figure": "Fig X (demo)", "scale": 1.0,
+            "rows": [{"dataset": "dblp", "time": "1.00s"}],
+        })
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig X (demo)" in out
+        assert "dblp" in out
+
+    def test_figure_filter(self, tmp_path, capsys):
+        from repro.bench.reporting import save_results
+        save_results(tmp_path / "a.json", {
+            "figure": "Fig A", "scale": 1.0, "rows": [{"x": 1}]})
+        save_results(tmp_path / "b.json", {
+            "figure": "Fig B", "scale": 1.0, "rows": [{"x": 2}]})
+        assert main(["report", "--results", str(tmp_path),
+                     "--figure", "fig b"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig B" in out
+        assert "Fig A" not in out
+
+    def test_empty_directory_fails(self, tmp_path, capsys):
+        assert main(["report", "--results", str(tmp_path)]) == 1

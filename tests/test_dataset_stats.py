@@ -1,0 +1,84 @@
+"""Tests for the dataset statistics helpers."""
+
+from repro.core.semicore_star import semi_core_star
+from repro.datasets import generators
+from repro.datasets.registry import get_spec
+from repro.datasets.stats import (
+    degree_skew,
+    degree_statistics,
+    estimate_semi_external_memory,
+    graph_statistics,
+    scale_factor,
+)
+from repro.storage.graphstore import GraphStorage
+
+
+class TestDegreeStatistics:
+    def test_basic(self):
+        stats = degree_statistics([0, 1, 1, 2, 4])
+        assert stats["min"] == 0
+        assert stats["max"] == 4
+        assert stats["mean"] == 1.6
+        assert stats["isolated"] == 1
+
+    def test_percentiles_ordered(self):
+        stats = degree_statistics(list(range(100)))
+        assert stats["p50"] <= stats["p90"] <= stats["p99"] <= stats["max"]
+
+    def test_empty(self):
+        stats = degree_statistics([])
+        assert stats["max"] == 0
+
+
+class TestDegreeSkew:
+    def test_uniform_is_zero(self):
+        assert abs(degree_skew([3] * 50)) < 1e-9
+
+    def test_concentrated_is_high(self):
+        skewed = [0] * 99 + [100]
+        assert degree_skew(skewed) > 0.9
+
+    def test_social_graph_more_skewed_than_er(self):
+        social, sn = generators.barabasi_albert(800, 3, seed=1)
+        er, en = generators.erdos_renyi(800, len(social), seed=1)
+        from repro.storage.memgraph import MemoryGraph
+        social_deg = MemoryGraph.from_edges(social, sn).degrees()
+        er_deg = MemoryGraph.from_edges(er, en).degrees()
+        assert degree_skew(social_deg) > degree_skew(er_deg)
+
+    def test_empty(self):
+        assert degree_skew([]) == 0.0
+
+
+class TestGraphStatistics:
+    def test_table1_columns(self, paper_storage):
+        stats = graph_statistics(paper_storage)
+        assert stats["nodes"] == 9
+        assert stats["edges"] == 15
+        assert abs(stats["density"] - 15 / 9) < 1e-9
+        assert stats["degree"]["max"] == 6
+
+    def test_with_cores(self, paper_storage):
+        result = semi_core_star(paper_storage)
+        stats = graph_statistics(paper_storage, cores=result.cores)
+        assert stats["kmax"] == 3
+        assert 0 < stats["core_mean"] <= 3
+
+
+class TestMemoryEstimate:
+    def test_clueweb_arithmetic(self):
+        """The paper's 4.2 GB claim: Clueweb's node state fits easily."""
+        spec = get_spec("clueweb")
+        estimate = estimate_semi_external_memory(spec.paper.nodes)
+        assert estimate < 4.2 * (1 << 30)
+        # SemiCore (core only) needs half of SemiCore*.
+        half = estimate_semi_external_memory(spec.paper.nodes,
+                                             with_cnt=False)
+        assert half * 2 == estimate
+
+    def test_scale_factor(self):
+        import pytest
+        spec = get_spec("clueweb")
+        assert scale_factor(spec.paper, spec.paper.nodes) == 1.0
+        assert scale_factor(spec.paper, spec.paper.nodes // 10) == \
+            pytest.approx(10.0, rel=1e-6)

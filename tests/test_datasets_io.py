@@ -1,0 +1,90 @@
+"""Tests for the edge-list file formats."""
+
+import pytest
+
+from repro.datasets.io import (
+    BinaryEdgeFile,
+    EdgeListFile,
+    read_binary_edges,
+    read_edge_list,
+    write_binary_edges,
+    write_edge_list,
+)
+from repro.errors import ReproError
+from repro.storage.builder import build_storage
+
+EDGES = [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+
+class TestTextFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        count = write_edge_list(path, EDGES)
+        assert count == 4
+        assert list(read_edge_list(path)) == EDGES
+
+    def test_header_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        write_edge_list(path, EDGES, header="sample graph\nfour edges")
+        content = path.read_text()
+        assert content.startswith("# sample graph")
+        assert list(read_edge_list(path)) == EDGES
+
+    def test_percent_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("% konect style\n\n0 1\n1 2\n")
+        assert list(read_edge_list(path)) == [(0, 1), (1, 2)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0\n")
+        with pytest.raises(ReproError, match="malformed"):
+            list(read_edge_list(path))
+
+    def test_non_integer_raises(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b\n")
+        with pytest.raises(ReproError, match="non-integer"):
+            list(read_edge_list(path))
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "edges.bin"
+        count = write_binary_edges(path, EDGES)
+        assert count == 4
+        assert list(read_binary_edges(path)) == EDGES
+
+    def test_bad_size_rejected(self, tmp_path):
+        path = tmp_path / "edges.bin"
+        path.write_bytes(b"\x00" * 7)
+        with pytest.raises(ReproError):
+            list(read_binary_edges(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "edges.bin"
+        path.write_bytes(b"")
+        assert list(read_binary_edges(path)) == []
+
+
+class TestReIterables:
+    def test_edge_list_file_reiterates(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        write_edge_list(path, EDGES)
+        source = EdgeListFile(path)
+        assert list(source) == EDGES
+        assert list(source) == EDGES  # second pass works
+
+    def test_binary_file_reiterates(self, tmp_path):
+        path = tmp_path / "edges.bin"
+        write_binary_edges(path, EDGES)
+        source = BinaryEdgeFile(path)
+        assert list(source) == list(source)
+
+    def test_builder_accepts_file_sources(self, tmp_path):
+        """The semi-external builder's multi-pass placement needs this."""
+        path = tmp_path / "edges.txt"
+        write_edge_list(path, EDGES)
+        storage = build_storage(EdgeListFile(path), 4, placement_budget=8)
+        assert storage.num_edges == 4
+        assert list(storage.neighbors(2)) == [0, 1, 3]

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, env_extra=None, timeout=240):
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True, text=True, env=env, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "degeneracy (kmax): 3" in proc.stdout
+        assert "verified" in proc.stdout
+
+    def test_community_detection(self):
+        proc = run_example("community_detection.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "densest community" in proc.stdout
+        assert "in-community friendships" in proc.stdout
+
+    def test_dynamic_stream(self):
+        proc = run_example("dynamic_stream.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "incremental cores verified" in proc.stdout
+
+    def test_webscale_simulation(self):
+        proc = run_example("webscale_simulation.py",
+                           env_extra={"REPRO_EXAMPLE_SCALE": "0.05"})
+        assert proc.returncode == 0, proc.stderr
+        assert "SemiCore*" in proc.stdout
+        assert "smaller" in proc.stdout
+
+    def test_baseline_comparison(self):
+        proc = run_example("baseline_comparison.py",
+                           env_extra={"REPRO_EXAMPLE_SCALE": "0.1"})
+        assert proc.returncode == 0, proc.stderr
+        assert "read I/Os" in proc.stdout
+        assert "only EMCore writes" in proc.stdout

@@ -1,0 +1,88 @@
+"""Exhaustive single-operation maintenance tests on the sample graph.
+
+The Fig. 1 graph is small enough to try *every* possible single edge
+insertion and deletion and compare every maintenance algorithm against
+a fresh decomposition.  This closes the gap between the randomized
+property tests (broad but sampled) and the paper-trace tests (exact but
+only two operations).
+"""
+
+import pytest
+
+from repro.core.imcore import im_core
+from repro.core.maintenance.delete_star import semi_delete_star
+from repro.core.maintenance.inmemory import im_delete, im_insert
+from repro.core.maintenance.insert import semi_insert
+from repro.core.maintenance.insert_star import semi_insert_star
+from repro.core.semicore_star import semi_core_star
+from repro.datasets.generators import paper_example_graph
+from repro.storage.dynamic import DynamicGraph
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+EDGES, N = paper_example_graph()
+NON_EDGES = [(u, v) for u in range(N) for v in range(u + 1, N)
+             if (u, v) not in set(EDGES)]
+
+
+def seeded():
+    graph = DynamicGraph(GraphStorage.from_edges(EDGES, N))
+    result = semi_core_star(graph)
+    return graph, result.cores, result.cnt
+
+
+def expected_after(edges):
+    return list(im_core(MemoryGraph.from_edges(edges, N)).cores)
+
+
+class TestEveryDeletion:
+    @pytest.mark.parametrize("edge", EDGES)
+    def test_semi_delete_star(self, edge):
+        graph, core, cnt = seeded()
+        semi_delete_star(graph, core, cnt, *edge)
+        remaining = [e for e in EDGES if e != edge]
+        assert list(core) == expected_after(remaining)
+        fresh = semi_core_star(graph)
+        assert list(cnt) == list(fresh.cnt)
+
+    @pytest.mark.parametrize("edge", EDGES)
+    def test_im_delete(self, edge):
+        graph = MemoryGraph.from_edges(EDGES, N)
+        cores = im_core(graph).cores
+        im_delete(graph, cores, *edge)
+        remaining = [e for e in EDGES if e != edge]
+        assert list(cores) == expected_after(remaining)
+
+
+class TestEveryInsertion:
+    @pytest.mark.parametrize("edge", NON_EDGES)
+    def test_semi_insert(self, edge):
+        graph, core, cnt = seeded()
+        semi_insert(graph, core, cnt, *edge)
+        assert list(core) == expected_after(EDGES + [edge])
+        fresh = semi_core_star(graph)
+        assert list(cnt) == list(fresh.cnt)
+
+    @pytest.mark.parametrize("edge", NON_EDGES)
+    def test_semi_insert_star(self, edge):
+        graph, core, cnt = seeded()
+        semi_insert_star(graph, core, cnt, *edge)
+        assert list(core) == expected_after(EDGES + [edge])
+        fresh = semi_core_star(graph)
+        assert list(cnt) == list(fresh.cnt)
+
+    @pytest.mark.parametrize("edge", NON_EDGES)
+    def test_im_insert(self, edge):
+        graph = MemoryGraph.from_edges(EDGES, N)
+        cores = im_core(graph).cores
+        im_insert(graph, cores, *edge)
+        assert list(cores) == expected_after(EDGES + [edge])
+
+    @pytest.mark.parametrize("edge", NON_EDGES)
+    def test_star_never_loads_more_than_two_phase(self, edge):
+        g1, c1, t1 = seeded()
+        g2, c2, t2 = seeded()
+        two = semi_insert(g1, c1, t1, *edge)
+        one = semi_insert_star(g2, c2, t2, *edge)
+        assert one.node_computations <= two.node_computations
+        assert one.changed_nodes == two.changed_nodes

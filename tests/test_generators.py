@@ -1,0 +1,130 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.core.imcore import im_core
+from repro.datasets import generators
+from repro.storage.memgraph import MemoryGraph
+
+
+def validate_simple(edges, n):
+    seen = set()
+    for u, v in edges:
+        assert 0 <= u < v < n, (u, v, n)
+        assert (u, v) not in seen
+        seen.add((u, v))
+
+
+class TestBasicShapes:
+    def test_paper_example_graph(self):
+        edges, n = generators.paper_example_graph()
+        assert n == 9
+        assert len(edges) == 15
+        validate_simple(edges, n)
+        degrees = MemoryGraph.from_edges(edges, n).degrees()
+        assert degrees == [3, 3, 4, 6, 3, 5, 3, 2, 1]
+
+    def test_complete(self):
+        edges, n = generators.complete_graph(5)
+        assert len(edges) == 10
+        validate_simple(edges, n)
+
+    def test_cycle_and_path_and_star(self):
+        for builder, count in ((generators.cycle_graph, 6),
+                               (generators.path_graph, 6),
+                               (generators.star_graph, 6)):
+            edges, n = builder(6)
+            validate_simple(edges, n)
+        assert len(generators.cycle_graph(6)[0]) == 6
+        assert len(generators.path_graph(6)[0]) == 5
+        assert len(generators.star_graph(6)[0]) == 5
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+
+class TestRandomModels:
+    def test_erdos_renyi_exact_count(self):
+        edges, n = generators.erdos_renyi(50, 200, seed=1)
+        assert len(edges) == 200
+        validate_simple(edges, n)
+
+    def test_erdos_renyi_deterministic(self):
+        a, _ = generators.erdos_renyi(40, 100, seed=9)
+        b, _ = generators.erdos_renyi(40, 100, seed=9)
+        c, _ = generators.erdos_renyi(40, 100, seed=10)
+        assert a == b
+        assert a != c
+
+    def test_erdos_renyi_too_dense(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi(4, 100)
+
+    def test_barabasi_albert_degrees_skewed(self):
+        edges, n = generators.barabasi_albert(400, 3, seed=2)
+        validate_simple(edges, n)
+        degrees = sorted(MemoryGraph.from_edges(edges, n).degrees())
+        # Preferential attachment: the hub dwarfs the median.
+        assert degrees[-1] > 4 * degrees[n // 2]
+
+    def test_barabasi_albert_small_n(self):
+        edges, n = generators.barabasi_albert(3, 5, seed=0)
+        assert (edges, n) == generators.complete_graph(3)
+
+    def test_rmat_respects_bounds(self):
+        edges, n = generators.rmat(100, 300, seed=3)
+        validate_simple(edges, n)
+        assert len(edges) <= 300
+
+    def test_rmat_deterministic(self):
+        assert generators.rmat(64, 128, seed=5) == \
+               generators.rmat(64, 128, seed=5)
+
+
+class TestComposites:
+    def test_plant_clique_pins_kmax(self):
+        edges, n = generators.erdos_renyi(200, 300, seed=4)
+        edges, n = generators.plant_clique(edges, n, 12, seed=4)
+        cores = im_core(MemoryGraph.from_edges(edges, n)).cores
+        assert max(cores) >= 11
+
+    def test_plant_clique_too_big(self):
+        with pytest.raises(ValueError):
+            generators.plant_clique([], 5, 10)
+
+    def test_tail_path_ids_are_appended(self):
+        edges, n = generators.append_tail_path([(0, 1)], 2, 5, anchor=0)
+        assert n == 7
+        graph = MemoryGraph.from_edges(edges, n)
+        assert graph.degree(6) == 1  # weak end has the highest id
+        assert graph.has_edge(0, 2)
+
+    def test_tail_path_zero_length(self):
+        edges, n = generators.append_tail_path([(0, 1)], 2, 0)
+        assert (edges, n) == ([(0, 1)], 2)
+
+    def test_social_graph(self):
+        edges, n = generators.social_graph(300, 2, 10, seed=6)
+        validate_simple(edges, n)
+        cores = im_core(MemoryGraph.from_edges(edges, n)).cores
+        assert max(cores) >= 9
+
+    def test_web_graph_has_tail_and_core(self):
+        edges, n = generators.web_graph(300, 4, 10, 40, seed=7)
+        validate_simple(edges, n)
+        graph = MemoryGraph.from_edges(edges, n)
+        assert graph.degree(n - 1) == 1
+        cores = im_core(graph).cores
+        assert max(cores) >= 9
+        assert cores[n - 1] == 1
+
+    def test_citation_graph(self):
+        edges, n = generators.citation_graph(200, 500, 8, seed=8)
+        validate_simple(edges, n)
+
+    def test_collaboration_graph(self):
+        edges, n = generators.collaboration_graph(200, 150, 2, 5, 10, seed=9)
+        validate_simple(edges, n)
+        cores = im_core(MemoryGraph.from_edges(edges, n)).cores
+        assert max(cores) >= 9

@@ -1,0 +1,109 @@
+"""Tests for the in-memory bin-sort peeling baseline (Algorithm 1)."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.core.imcore import im_core
+from repro.datasets import generators
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import graph_edges, make_random_edges, nx_core_numbers
+
+
+class TestKnownGraphs:
+    def test_paper_example(self, paper_graph):
+        edges, n = paper_graph
+        result = im_core(MemoryGraph.from_edges(edges, n))
+        assert list(result.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+        assert result.kmax == 3
+
+    def test_complete_graph(self):
+        edges, n = generators.complete_graph(6)
+        result = im_core(MemoryGraph.from_edges(edges, n))
+        assert list(result.cores) == [5] * 6
+
+    def test_cycle(self):
+        edges, n = generators.cycle_graph(10)
+        result = im_core(MemoryGraph.from_edges(edges, n))
+        assert list(result.cores) == [2] * 10
+
+    def test_path(self):
+        edges, n = generators.path_graph(6)
+        result = im_core(MemoryGraph.from_edges(edges, n))
+        assert list(result.cores) == [1] * 6
+
+    def test_star(self):
+        edges, n = generators.star_graph(8)
+        result = im_core(MemoryGraph.from_edges(edges, n))
+        assert list(result.cores) == [1] * 8
+
+    def test_empty_graph(self):
+        result = im_core(MemoryGraph(0))
+        assert list(result.cores) == []
+        assert result.kmax == 0
+
+    def test_isolated_nodes(self):
+        result = im_core(MemoryGraph(4))
+        assert list(result.cores) == [0, 0, 0, 0]
+
+    def test_disconnected_components(self):
+        # A triangle plus a separate path.
+        edges = [(0, 1), (0, 2), (1, 2), (3, 4), (4, 5)]
+        result = im_core(MemoryGraph.from_edges(edges, 6))
+        assert list(result.cores) == [2, 2, 2, 1, 1, 1]
+
+    def test_complete_bipartite(self):
+        # K(3,4): every node has core 3.
+        edges = [(u, 3 + v) for u in range(3) for v in range(4)]
+        result = im_core(MemoryGraph.from_edges(edges, 7))
+        assert list(result.cores) == [3] * 7
+
+    def test_clique_with_pendant(self):
+        edges, n = generators.complete_graph(5)
+        edges = edges + [(0, 5)]
+        result = im_core(MemoryGraph.from_edges(edges, 6))
+        assert list(result.cores) == [4, 4, 4, 4, 4, 1]
+
+
+class TestAgainstOracle:
+    def test_random_graphs(self):
+        rng = random.Random(11)
+        for _ in range(25):
+            n = rng.randint(2, 80)
+            edges = make_random_edges(rng, n, rng.choice([0.05, 0.15, 0.3]))
+            result = im_core(MemoryGraph.from_edges(edges, n))
+            assert list(result.cores) == nx_core_numbers(edges, n)
+
+    @given(graph_edges())
+    @settings(max_examples=50, deadline=None)
+    def test_hypothesis_graphs(self, graph):
+        edges, n = graph
+        result = im_core(MemoryGraph.from_edges(edges, n))
+        assert list(result.cores) == nx_core_numbers(edges, n)
+
+
+class TestStorageInput:
+    def test_runs_on_storage(self, paper_graph):
+        edges, n = paper_graph
+        storage = GraphStorage.from_edges(edges, n)
+        result = im_core(storage)
+        assert list(result.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+        # Loading the graph costs the sequential-scan I/Os.
+        assert result.io.read_ios > 0
+
+    def test_memory_model_includes_adjacency(self, paper_graph):
+        edges, n = paper_graph
+        result = im_core(MemoryGraph.from_edges(edges, n))
+        # 30 arcs * 4 bytes must be inside the reported figure.
+        assert result.model_memory_bytes >= 120
+
+
+class TestMetrics:
+    def test_one_computation_per_node(self, paper_graph):
+        edges, n = paper_graph
+        result = im_core(MemoryGraph.from_edges(edges, n))
+        assert result.node_computations == n
+        assert result.iterations == 1
+        assert result.algorithm == "IMCore"

@@ -1,0 +1,92 @@
+"""Cross-cutting tests of the external-memory accounting model.
+
+These tie the storage layer and the algorithms together: the I/O
+figures the benchmarks report must follow the Aggarwal-Vitter model
+exactly, because the paper's Fig. 9(e,f) and Fig. 10(c,d) are I/O-count
+plots, not wall-clock plots.
+"""
+
+import pytest
+
+from repro.core.semicore import semi_core
+from repro.core.semicore_plus import semi_core_plus
+from repro.core.semicore_star import semi_core_star
+from repro.core.emcore import em_core
+from repro.datasets import generators
+from repro.storage import layout
+from repro.storage.graphstore import GraphStorage
+
+
+def build(edges, n, block_size):
+    return GraphStorage.from_edges(edges, n, block_size=block_size)
+
+
+class TestScanCosts:
+    def test_scan_io_independent_of_chunking(self):
+        edges, n = generators.erdos_renyi(300, 1200, seed=3)
+        costs = []
+        for chunk in (64, 1024, 1 << 18):
+            storage = build(edges, n, 128)
+            storage.io_stats.reset()
+            list(storage.iter_adjacency(chunk_bytes=chunk))
+            costs.append(storage.io_stats.read_ios)
+        assert costs[0] == costs[1] == costs[2]
+
+    def test_scan_io_halves_when_blocks_double(self):
+        edges, n = generators.erdos_renyi(300, 1200, seed=3)
+        small = build(edges, n, 128)
+        small.io_stats.reset()
+        list(small.iter_adjacency())
+        large = build(edges, n, 256)
+        large.io_stats.reset()
+        list(large.iter_adjacency())
+        ratio = small.io_stats.read_ios / large.io_stats.read_ios
+        assert 1.8 <= ratio <= 2.2
+
+
+class TestAlgorithmIOInvariants:
+    def test_semicore_io_proportional_to_iterations(self):
+        edges, n = generators.social_graph(400, 3, 10, seed=1)
+        short = semi_core(build(edges, n, 256), max_iterations=2)
+        full = semi_core(build(edges, n, 256))
+        # Every iteration costs the same scan, so reads scale linearly.
+        per_scan = short.io.read_ios / 2
+        assert full.io.read_ios == pytest.approx(
+            per_scan * full.iterations, rel=0.15)
+
+    def test_ordering_star_le_plus_le_base(self):
+        for seed in (1, 2, 3):
+            edges, n = generators.web_graph(500, 4, 10, 40, seed=seed)
+            base = semi_core(build(edges, n, 256))
+            plus = semi_core_plus(build(edges, n, 256))
+            star = semi_core_star(build(edges, n, 256))
+            assert star.io.read_ios <= plus.io.read_ios * 1.05
+            assert plus.io.read_ios <= base.io.read_ios
+
+    def test_only_emcore_writes(self):
+        edges, n = generators.social_graph(300, 3, 10, seed=4)
+        for runner in (semi_core, semi_core_plus, semi_core_star):
+            assert runner(build(edges, n, 256)).io.write_ios == 0
+        em = em_core(build(edges, n, 256), partition_arcs=128)
+        assert em.io.write_ios > 0
+
+    def test_maintenance_io_much_smaller_than_decomposition(self):
+        from repro.core.maintenance.maintainer import CoreMaintainer
+        edges, n = generators.social_graph(600, 3, 12, seed=5)
+        storage = build(edges, n, 256)
+        maintainer = CoreMaintainer.from_storage(storage)
+        seed_reads = storage.io_stats.read_ios
+        snapshot = storage.io_stats.snapshot()
+        maintainer.delete_edge(*edges[0])
+        maintainer.insert_edge(*edges[0])
+        delta = storage.io_stats.delta_since(snapshot)
+        assert delta.read_ios < seed_reads / 10
+
+    def test_block_math_consistency(self):
+        """bytes_read never exceeds read_ios * block_size."""
+        edges, n = generators.erdos_renyi(200, 700, seed=6)
+        storage = build(edges, n, 128)
+        storage.io_stats.reset()
+        semi_core_star(storage)
+        stats = storage.io_stats
+        assert stats.bytes_read <= stats.read_ios * 128 + 128

@@ -1,0 +1,80 @@
+"""Unit tests for the binary table layout."""
+
+import pytest
+
+from repro.errors import CorruptStorageError
+from repro.storage import layout
+
+
+class TestHeaders:
+    def test_roundtrip_node_header(self):
+        data = layout.pack_header(layout.TABLE_NODE, 100, 360)
+        assert len(data) == layout.HEADER_SIZE
+        entries, companion = layout.unpack_header(data, layout.TABLE_NODE)
+        assert entries == 100
+        assert companion == 360
+
+    def test_roundtrip_edge_header(self):
+        data = layout.pack_header(layout.TABLE_EDGE, 360, 100)
+        entries, companion = layout.unpack_header(data, layout.TABLE_EDGE)
+        assert entries == 360
+        assert companion == 100
+
+    def test_bad_magic_rejected(self):
+        data = b"BADMAGIC" + layout.pack_header(layout.TABLE_NODE, 1, 1)[8:]
+        with pytest.raises(CorruptStorageError, match="magic"):
+            layout.unpack_header(data, layout.TABLE_NODE)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(CorruptStorageError, match="truncated"):
+            layout.unpack_header(b"\x00" * 10, layout.TABLE_NODE)
+
+    def test_wrong_table_type_rejected(self):
+        data = layout.pack_header(layout.TABLE_EDGE, 1, 1)
+        with pytest.raises(CorruptStorageError, match="table type"):
+            layout.unpack_header(data, layout.TABLE_NODE)
+
+    def test_wrong_version_rejected(self):
+        good = bytearray(layout.pack_header(layout.TABLE_NODE, 1, 1))
+        good[8] = 99  # version lives right after the magic
+        with pytest.raises(CorruptStorageError, match="version"):
+            layout.unpack_header(bytes(good), layout.TABLE_NODE)
+
+    def test_large_counts_survive(self):
+        big = 42_574_107_469  # Clueweb's arc count fits the u64 field
+        data = layout.pack_header(layout.TABLE_EDGE, big, 978_408_098)
+        entries, companion = layout.unpack_header(data, layout.TABLE_EDGE)
+        assert entries == big
+        assert companion == 978_408_098
+
+
+class TestNodeEntries:
+    def test_roundtrip(self):
+        data = layout.pack_node_entry(123456789, 42)
+        assert len(data) == layout.NODE_ENTRY_SIZE
+        assert layout.unpack_node_entry(data) == (123456789, 42)
+
+    def test_unpack_at_position(self):
+        blob = (layout.pack_node_entry(1, 2)
+                + layout.pack_node_entry(3, 4))
+        assert layout.unpack_node_entry(
+            blob, layout.NODE_ENTRY_SIZE) == (3, 4)
+
+
+class TestPositions:
+    def test_node_entry_positions_are_contiguous(self):
+        assert (layout.node_entry_position(1)
+                - layout.node_entry_position(0)) == layout.NODE_ENTRY_SIZE
+        assert layout.node_entry_position(0) == layout.HEADER_SIZE
+
+    def test_edge_entry_positions(self):
+        assert layout.edge_entry_position(0) == layout.HEADER_SIZE
+        assert (layout.edge_entry_position(10)
+                == layout.HEADER_SIZE + 10 * layout.EDGE_ENTRY_SIZE)
+
+    def test_table_sizes(self):
+        assert layout.node_table_size(0) == layout.HEADER_SIZE
+        assert (layout.node_table_size(5)
+                == layout.HEADER_SIZE + 5 * layout.NODE_ENTRY_SIZE)
+        assert (layout.edge_table_size(7)
+                == layout.HEADER_SIZE + 7 * layout.EDGE_ENTRY_SIZE)

@@ -1,0 +1,103 @@
+"""Unit and property tests for the locality kernel (Eq. 1 / Theorem 4.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.locality import compute_cnt, local_core, satisfies_locality
+from repro.core.imcore import im_core
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import graph_edges
+
+
+class TestLocalCore:
+    def test_zero_cold(self):
+        assert local_core([5, 5], [0, 1], 0) == 0
+
+    def test_all_neighbors_at_level(self):
+        # Three neighbours with core >= 3 support k = 3.
+        core = [3, 3, 3, 3]
+        assert local_core(core, [0, 1, 2], 3) == 3
+
+    def test_insufficient_support_drops(self):
+        # cold = 3 but only one neighbour has core >= 2.
+        core = [2, 1, 0, 3]
+        assert local_core(core, [1, 2], 3) == 1
+
+    def test_clamps_at_cold(self):
+        # Neighbours would support 4, but cold caps the answer.
+        core = [9, 9, 9, 9, 9]
+        assert local_core(core, [0, 1, 2, 3], 2) == 2
+
+    def test_isolated(self):
+        assert local_core([1], [], 5) == 0
+
+    def test_paper_example_v3(self):
+        """Example 4.1: v3's neighbours {3,3,3,3,5,3} give core 3."""
+        core = [3, 3, 3, 6, 3, 5, 3]
+        assert local_core(core, [0, 1, 2, 4, 5, 6], 6) == 3
+
+    def test_neighbors_with_zero_core_ignored(self):
+        core = [0, 0, 2]
+        assert local_core(core, [0, 1], 2) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=20),
+           st.integers(min_value=0, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_definition_holds(self, neighbor_cores, cold):
+        """The result is the max k <= cold with >= k neighbours >= k."""
+        result = local_core(neighbor_cores, range(len(neighbor_cores)), cold)
+        assert 0 <= result <= cold
+        if result > 0:
+            support = sum(1 for c in neighbor_cores if c >= result)
+            assert support >= result
+        for k in range(result + 1, cold + 1):
+            support = sum(1 for c in neighbor_cores if c >= k)
+            assert support < k
+
+
+class TestComputeCnt:
+    def test_counts_at_threshold(self):
+        core = [1, 2, 3, 4]
+        assert compute_cnt(core, [0, 1, 2, 3], 2) == 3
+        assert compute_cnt(core, [0, 1, 2, 3], 5) == 0
+
+    def test_empty(self):
+        assert compute_cnt([], [], 1) == 0
+
+
+class TestSatisfiesLocality:
+    def test_correct_cores_accepted(self, paper_graph):
+        edges, n = paper_graph
+        graph = MemoryGraph.from_edges(edges, n)
+        cores = [3, 3, 3, 3, 2, 2, 2, 2, 1]
+        assert satisfies_locality(cores, graph.neighbors, n)
+
+    def test_too_high_rejected(self, paper_graph):
+        edges, n = paper_graph
+        graph = MemoryGraph.from_edges(edges, n)
+        cores = [3, 3, 3, 3, 3, 3, 2, 2, 1]  # v4/v5 inflated
+        assert not satisfies_locality(cores, graph.neighbors, n)
+
+    def test_unsupported_value_rejected(self, paper_graph):
+        edges, n = paper_graph
+        graph = MemoryGraph.from_edges(edges, n)
+        cores = [3, 3, 3, 3, 2, 2, 2, 2, 2]  # v8 has one neighbour only
+        assert not satisfies_locality(cores, graph.neighbors, n)
+
+    def test_uniform_underestimate_passes(self, paper_graph):
+        """A consistently deflated clique satisfies the local conditions;
+        exactness comes from iterating downward from an upper bound."""
+        edges, n = paper_graph
+        graph = MemoryGraph.from_edges(edges, n)
+        cores = [2, 2, 2, 2, 2, 2, 2, 2, 1]  # the 3-core deflated to 2
+        assert satisfies_locality(cores, graph.neighbors, n)
+
+    @given(graph_edges())
+    @settings(max_examples=40, deadline=None)
+    def test_imcore_output_is_the_unique_fixpoint(self, graph):
+        """Theorem 4.1: exactly the true cores satisfy both conditions."""
+        edges, n = graph
+        g = MemoryGraph.from_edges(edges, n)
+        cores = list(im_core(g).cores)
+        assert satisfies_locality(cores, g.neighbors, n)

@@ -1,0 +1,143 @@
+"""Tests for SemiDelete* (Algorithm 6)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.locality import compute_cnt
+from repro.core.semicore_star import semi_core_star
+from repro.errors import EdgeNotFoundError
+from repro.core.maintenance.delete_star import semi_delete_star
+from repro.storage.dynamic import DynamicGraph
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import graph_edges, make_random_edges
+
+
+def seeded_dynamic(edges, n):
+    graph = DynamicGraph(GraphStorage.from_edges(edges, n))
+    result = semi_core_star(graph)
+    return graph, result.cores, result.cnt
+
+
+def assert_state_exact(graph, core, cnt):
+    """core/cnt must equal a fresh SemiCore* run on the current graph."""
+    fresh = semi_core_star(graph)
+    assert list(core) == list(fresh.cores)
+    assert list(cnt) == list(fresh.cnt)
+
+
+class TestSingleDeletions:
+    def test_delete_bridge_edge(self):
+        # Triangle + pendant edge: deleting the pendant edge drops v3.
+        edges = [(0, 1), (0, 2), (1, 2), (2, 3)]
+        graph, core, cnt = seeded_dynamic(edges, 4)
+        result = semi_delete_star(graph, core, cnt, 2, 3)
+        assert list(core) == [2, 2, 2, 0]
+        assert result.changed_nodes == [3]
+
+    def test_delete_inside_clique(self):
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        graph, core, cnt = seeded_dynamic(edges, 5)
+        semi_delete_star(graph, core, cnt, 0, 1)
+        assert list(core) == [3, 3, 3, 3, 3]
+
+    def test_missing_edge_raises(self, paper_graph):
+        edges, n = paper_graph
+        graph, core, cnt = seeded_dynamic(edges, n)
+        with pytest.raises(EdgeNotFoundError):
+            semi_delete_star(graph, core, cnt, 0, 8)
+
+    def test_works_on_memory_graph(self, paper_graph):
+        """The algorithm accepts any graph with the mutation protocol."""
+        edges, n = paper_graph
+        graph = MemoryGraph.from_edges(edges, n)
+        seed = semi_core_star(graph)
+        result = semi_delete_star(graph, seed.cores, seed.cnt, 0, 1)
+        assert list(seed.cores) == [2, 2, 2, 2, 2, 2, 2, 2, 1]
+        assert result.io.read_ios == 0  # no I/O backing
+
+
+class TestTheorem31:
+    def test_core_decreases_by_at_most_one(self, rng):
+        for _ in range(10):
+            n = rng.randint(4, 40)
+            edges = make_random_edges(rng, n, 0.25)
+            if not edges:
+                continue
+            graph, core, cnt = seeded_dynamic(edges, n)
+            before = list(core)
+            u, v = rng.choice(edges)
+            semi_delete_star(graph, core, cnt, u, v)
+            for w in range(n):
+                assert before[w] - 1 <= core[w] <= before[w]
+
+
+class TestTheorem32:
+    def test_changed_nodes_share_the_smaller_core(self, rng):
+        for _ in range(10):
+            n = rng.randint(4, 40)
+            edges = make_random_edges(rng, n, 0.25)
+            if not edges:
+                continue
+            graph, core, cnt = seeded_dynamic(edges, n)
+            before = list(core)
+            u, v = rng.choice(edges)
+            result = semi_delete_star(graph, core, cnt, u, v)
+            level = min(before[u], before[v])
+            for w in result.changed_nodes:
+                assert before[w] == level
+
+
+class TestExactness:
+    @given(graph_edges(max_nodes=18), st.integers(min_value=0))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_recompute(self, graph, pick):
+        edges, n = graph
+        if not edges:
+            return
+        graph_obj, core, cnt = seeded_dynamic(edges, n)
+        u, v = edges[pick % len(edges)]
+        semi_delete_star(graph_obj, core, cnt, u, v)
+        assert_state_exact(graph_obj, core, cnt)
+
+    def test_sequence_of_deletions(self, rng):
+        n = 30
+        edges = make_random_edges(rng, n, 0.3)
+        graph, core, cnt = seeded_dynamic(edges, n)
+        remaining = list(edges)
+        rng.shuffle(remaining)
+        for u, v in remaining[:20]:
+            semi_delete_star(graph, core, cnt, u, v)
+        assert_state_exact(graph, core, cnt)
+
+    def test_delete_all_edges_reaches_zero(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        graph, core, cnt = seeded_dynamic(edges, 3)
+        for u, v in edges:
+            semi_delete_star(graph, core, cnt, u, v)
+        assert list(core) == [0, 0, 0]
+
+
+class TestLocality:
+    def test_only_touches_nearby_nodes(self):
+        """Deleting a far-away edge leaves an untouched clique alone."""
+        clique = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        tail = [(5, 6), (6, 7)]
+        graph, core, cnt = seeded_dynamic(clique + tail, 8)
+        result = semi_delete_star(graph, core, cnt, 6, 7)
+        assert all(w >= 5 for w in result.changed_nodes)
+        assert list(core)[:5] == [4] * 5
+
+    def test_cheap_when_nothing_changes(self):
+        """Deleting an edge of a saturated clique member costs O(1) loads."""
+        edges = [(u, v) for u in range(6) for v in range(u + 1, 6)]
+        edges.append((0, 6))  # pendant
+        graph, core, cnt = seeded_dynamic(edges, 7)
+        result = semi_delete_star(graph, core, cnt, 0, 6)
+        # Only v6's value changes; v0 keeps core 5.
+        assert result.changed_nodes == [6]
+        assert result.node_computations <= 2

@@ -1,0 +1,111 @@
+"""Tests for the in-memory maintenance baselines (IMInsert / IMDelete)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.imcore import im_core
+from repro.core.maintenance.inmemory import im_delete, im_insert
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import graph_edges, make_random_edges, nx_core_numbers
+
+
+def seeded(edges, n):
+    graph = MemoryGraph.from_edges(edges, n)
+    cores = im_core(graph).cores
+    return graph, cores
+
+
+def missing_edges(edges, n):
+    present = set(edges)
+    return [(u, v) for u in range(n) for v in range(u + 1, n)
+            if (u, v) not in present]
+
+
+class TestIMInsert:
+    def test_square_closure(self):
+        graph, cores = seeded([(0, 1), (1, 2), (2, 3)], 4)
+        result = im_insert(graph, cores, 0, 3)
+        assert list(cores) == [2, 2, 2, 2]
+        assert result.changed_nodes == [0, 1, 2, 3]
+
+    def test_pendant_attachment_lifts_only_the_leaf(self):
+        graph, cores = seeded([(0, 1), (0, 2), (1, 2)], 4)
+        result = im_insert(graph, cores, 0, 3)
+        assert list(cores) == [2, 2, 2, 1]
+        assert result.changed_nodes == [3]
+
+    def test_completing_k4_lifts_every_member(self):
+        # K4 minus one edge has cores [2,2,2,2]; the closing chord
+        # lifts the whole clique to 3 at once.
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]
+        graph, cores = seeded(edges, 4)
+        result = im_insert(graph, cores, 2, 3)
+        assert list(cores) == [3, 3, 3, 3]
+        assert sorted(result.changed_nodes) == [0, 1, 2, 3]
+
+    @given(graph_edges(max_nodes=16), st.integers(min_value=0))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_recompute(self, graph, pick):
+        edges, n = graph
+        candidates = missing_edges(edges, n)
+        if not candidates:
+            return
+        g, cores = seeded(edges, n)
+        u, v = candidates[pick % len(candidates)]
+        im_insert(g, cores, u, v)
+        expected = nx_core_numbers(list(g.edges()), n)
+        assert list(cores) == expected
+
+
+class TestIMDelete:
+    def test_pendant_drop(self):
+        graph, cores = seeded([(0, 1), (0, 2), (1, 2), (2, 3)], 4)
+        result = im_delete(graph, cores, 2, 3)
+        assert list(cores) == [2, 2, 2, 0]
+        assert result.changed_nodes == [3]
+
+    def test_clique_edge_removal(self):
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        graph, cores = seeded(edges, 5)
+        im_delete(graph, cores, 0, 1)
+        assert list(cores) == [3, 3, 3, 3, 3]
+
+    @given(graph_edges(max_nodes=16), st.integers(min_value=0))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_recompute(self, graph, pick):
+        edges, n = graph
+        if not edges:
+            return
+        g, cores = seeded(edges, n)
+        u, v = edges[pick % len(edges)]
+        im_delete(g, cores, u, v)
+        expected = nx_core_numbers(list(g.edges()), n)
+        assert list(cores) == expected
+
+
+class TestInterleaved:
+    def test_long_mixed_stream(self, rng):
+        n = 30
+        edges = make_random_edges(rng, n, 0.15)
+        graph, cores = seeded(edges, n)
+        present = set(edges)
+        for _ in range(80):
+            if present and rng.random() < 0.5:
+                u, v = rng.choice(sorted(present))
+                present.discard((u, v))
+                im_delete(graph, cores, u, v)
+            else:
+                free = missing_edges(sorted(present), n)
+                if not free:
+                    continue
+                u, v = rng.choice(free)
+                present.add((u, v))
+                im_insert(graph, cores, u, v)
+        assert list(cores) == nx_core_numbers(sorted(present), n)
+
+    def test_results_report_no_io(self):
+        graph, cores = seeded([(0, 1), (1, 2)], 3)
+        result = im_insert(graph, cores, 0, 2)
+        assert result.io.read_ios == 0
+        assert result.io.write_ios == 0

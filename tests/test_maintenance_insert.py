@@ -1,0 +1,153 @@
+"""Tests for SemiInsert, the two-phase insertion (Algorithm 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maintenance.insert import semi_insert
+from repro.core.semicore_star import semi_core_star
+from repro.errors import EdgeExistsError
+from repro.storage.dynamic import DynamicGraph
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import graph_edges, make_random_edges
+
+
+def seeded_dynamic(edges, n):
+    graph = DynamicGraph(GraphStorage.from_edges(edges, n))
+    result = semi_core_star(graph)
+    return graph, result.cores, result.cnt
+
+
+def missing_edges(edges, n):
+    present = set(edges)
+    return [(u, v) for u in range(n) for v in range(u + 1, n)
+            if (u, v) not in present]
+
+
+def assert_state_exact(graph, core, cnt):
+    fresh = semi_core_star(graph)
+    assert list(core) == list(fresh.cores)
+    assert list(cnt) == list(fresh.cnt)
+
+
+class TestSingleInsertions:
+    def test_closing_a_square_lifts_cores(self):
+        # A path 0-1-2-3 plus edge (0,3) forms a cycle: everyone to 2.
+        edges = [(0, 1), (1, 2), (2, 3)]
+        graph, core, cnt = seeded_dynamic(edges, 4)
+        result = semi_insert(graph, core, cnt, 0, 3)
+        assert list(core) == [2, 2, 2, 2]
+        assert sorted(result.changed_nodes) == [0, 1, 2, 3]
+
+    def test_pendant_attachment_lifts_only_the_leaf(self):
+        edges = [(0, 1), (0, 2), (1, 2)]
+        graph, core, cnt = seeded_dynamic(edges, 4)
+        result = semi_insert(graph, core, cnt, 0, 3)
+        assert list(core) == [2, 2, 2, 1]
+        # The isolated node climbs from core 0 to core 1; the triangle
+        # is untouched.
+        assert result.changed_nodes == [3]
+
+    def test_duplicate_insert_raises(self, paper_graph):
+        edges, n = paper_graph
+        graph, core, cnt = seeded_dynamic(edges, n)
+        with pytest.raises(EdgeExistsError):
+            semi_insert(graph, core, cnt, 0, 1)
+
+    def test_works_on_memory_graph(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        graph = MemoryGraph.from_edges(edges, 4)
+        seed = semi_core_star(graph)
+        semi_insert(graph, seed.cores, seed.cnt, 0, 3)
+        assert list(seed.cores) == [2, 2, 2, 2]
+
+
+class TestTheorem31:
+    def test_core_increases_by_at_most_one(self, rng):
+        for _ in range(10):
+            n = rng.randint(4, 40)
+            edges = make_random_edges(rng, n, 0.2)
+            candidates = missing_edges(edges, n)
+            if not candidates:
+                continue
+            graph, core, cnt = seeded_dynamic(edges, n)
+            before = list(core)
+            u, v = rng.choice(candidates)
+            semi_insert(graph, core, cnt, u, v)
+            for w in range(n):
+                assert before[w] <= core[w] <= before[w] + 1
+
+
+class TestTheorem32:
+    def test_changed_set_shares_level_and_connects(self, rng):
+        for _ in range(10):
+            n = rng.randint(4, 40)
+            edges = make_random_edges(rng, n, 0.2)
+            candidates = missing_edges(edges, n)
+            if not candidates:
+                continue
+            graph, core, cnt = seeded_dynamic(edges, n)
+            before = list(core)
+            u, v = rng.choice(candidates)
+            result = semi_insert(graph, core, cnt, u, v)
+            level = min(before[u], before[v])
+            for w in result.changed_nodes:
+                assert before[w] == level
+            # The changed set induces a connected subgraph (Theorem 3.2).
+            changed = set(result.changed_nodes)
+            if len(changed) > 1:
+                seen = {min(changed)}
+                stack = [min(changed)]
+                while stack:
+                    w = stack.pop()
+                    for x in graph.neighbors(w):
+                        if x in changed and x not in seen:
+                            seen.add(x)
+                            stack.append(x)
+                assert seen == changed
+
+
+class TestExactness:
+    @given(graph_edges(max_nodes=16), st.integers(min_value=0))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_recompute(self, graph, pick):
+        edges, n = graph
+        candidates = missing_edges(edges, n)
+        if not candidates:
+            return
+        graph_obj, core, cnt = seeded_dynamic(edges, n)
+        u, v = candidates[pick % len(candidates)]
+        semi_insert(graph_obj, core, cnt, u, v)
+        assert_state_exact(graph_obj, core, cnt)
+
+    def test_sequence_of_insertions(self, rng):
+        n = 25
+        edges = make_random_edges(rng, n, 0.1)
+        graph, core, cnt = seeded_dynamic(edges, n)
+        candidates = missing_edges(edges, n)
+        rng.shuffle(candidates)
+        for u, v in candidates[:25]:
+            semi_insert(graph, core, cnt, u, v)
+        assert_state_exact(graph, core, cnt)
+
+    def test_build_clique_incrementally(self):
+        graph, core, cnt = seeded_dynamic([(0, 1)], 6)
+        for u in range(6):
+            for v in range(u + 1, 6):
+                if (u, v) != (0, 1):
+                    semi_insert(graph, core, cnt, u, v)
+        assert list(core) == [5] * 6
+        assert_state_exact(graph, core, cnt)
+
+
+class TestCandidateSet:
+    def test_phase1_covers_the_reachable_subcore(self, paper_graph):
+        """On Fig. 1 after delete(0,1): all 8 core-2 nodes are promoted."""
+        edges, n = paper_graph
+        graph, core, cnt = seeded_dynamic(edges, n)
+        from repro.core.maintenance.delete_star import semi_delete_star
+        semi_delete_star(graph, core, cnt, 0, 1)
+        result = semi_insert(graph, core, cnt, 4, 6)
+        assert result.candidate_nodes == 8

@@ -1,0 +1,187 @@
+"""Tests for SemiInsert*, the one-phase insertion (Algorithm 8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maintenance.insert import semi_insert
+from repro.core.maintenance.insert_star import semi_insert_star
+from repro.core.semicore_star import semi_core_star
+from repro.errors import EdgeExistsError
+from repro.storage.dynamic import DynamicGraph
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import graph_edges, make_random_edges
+
+
+def seeded_dynamic(edges, n):
+    graph = DynamicGraph(GraphStorage.from_edges(edges, n))
+    result = semi_core_star(graph)
+    return graph, result.cores, result.cnt
+
+
+def missing_edges(edges, n):
+    present = set(edges)
+    return [(u, v) for u in range(n) for v in range(u + 1, n)
+            if (u, v) not in present]
+
+
+def assert_state_exact(graph, core, cnt):
+    fresh = semi_core_star(graph)
+    assert list(core) == list(fresh.cores)
+    assert list(cnt) == list(fresh.cnt)
+
+
+class TestSingleInsertions:
+    def test_closing_a_square(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        graph, core, cnt = seeded_dynamic(edges, 4)
+        result = semi_insert_star(graph, core, cnt, 0, 3)
+        assert list(core) == [2, 2, 2, 2]
+        assert result.changed_nodes == [0, 1, 2, 3]
+
+    def test_pendant_attachment(self):
+        edges = [(0, 1), (0, 2), (1, 2)]
+        graph, core, cnt = seeded_dynamic(edges, 4)
+        result = semi_insert_star(graph, core, cnt, 0, 3)
+        assert list(core) == [2, 2, 2, 1]
+        # Only the leaf is promoted (0 -> 1) and only it computes.
+        assert result.changed_nodes == [3]
+        assert result.node_computations <= 1
+
+    def test_leaf_with_two_strong_neighbors_promotes(self):
+        # v3 (core 1) gains a second triangle neighbour: two neighbours
+        # of core >= 2 lift it to core 2 without touching the triangle.
+        edges = [(0, 1), (0, 2), (1, 2), (0, 3)]
+        graph, core, cnt = seeded_dynamic(edges, 4)
+        result = semi_insert_star(graph, core, cnt, 1, 3)
+        assert list(core) == [2, 2, 2, 2]
+        assert result.changed_nodes == [3]
+
+    def test_duplicate_insert_raises(self, paper_graph):
+        edges, n = paper_graph
+        graph, core, cnt = seeded_dynamic(edges, n)
+        with pytest.raises(EdgeExistsError):
+            semi_insert_star(graph, core, cnt, 0, 1)
+
+    def test_unequal_core_endpoints(self):
+        # v3 (core 1) attaches to the triangle member v0 (core 2).
+        edges = [(0, 1), (0, 2), (1, 2), (3, 4)]
+        graph, core, cnt = seeded_dynamic(edges, 5)
+        result = semi_insert_star(graph, core, cnt, 0, 3)
+        assert list(core) == [2, 2, 2, 1, 1]
+        assert result.changed_nodes == []
+
+    def test_works_on_memory_graph(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        graph = MemoryGraph.from_edges(edges, 4)
+        seed = semi_core_star(graph)
+        semi_insert_star(graph, seed.cores, seed.cnt, 0, 3)
+        assert list(seed.cores) == [2, 2, 2, 2]
+
+
+class TestExactness:
+    @given(graph_edges(max_nodes=16), st.integers(min_value=0))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_recompute(self, graph, pick):
+        edges, n = graph
+        candidates = missing_edges(edges, n)
+        if not candidates:
+            return
+        graph_obj, core, cnt = seeded_dynamic(edges, n)
+        u, v = candidates[pick % len(candidates)]
+        semi_insert_star(graph_obj, core, cnt, u, v)
+        assert_state_exact(graph_obj, core, cnt)
+
+    def test_sequence_of_insertions(self, rng):
+        n = 25
+        edges = make_random_edges(rng, n, 0.1)
+        graph, core, cnt = seeded_dynamic(edges, n)
+        candidates = missing_edges(edges, n)
+        rng.shuffle(candidates)
+        for u, v in candidates[:25]:
+            semi_insert_star(graph, core, cnt, u, v)
+        assert_state_exact(graph, core, cnt)
+
+    def test_build_clique_incrementally(self):
+        graph, core, cnt = seeded_dynamic([(0, 1)], 6)
+        for u in range(6):
+            for v in range(u + 1, 6):
+                if (u, v) != (0, 1):
+                    semi_insert_star(graph, core, cnt, u, v)
+        assert list(core) == [5] * 6
+        assert_state_exact(graph, core, cnt)
+
+    def test_agrees_with_two_phase(self, rng):
+        """Algorithms 7 and 8 must land on identical states."""
+        for _ in range(8):
+            n = rng.randint(4, 30)
+            edges = make_random_edges(rng, n, 0.15)
+            candidates = missing_edges(edges, n)
+            if not candidates:
+                continue
+            u, v = rng.choice(candidates)
+            g1, c1, t1 = seeded_dynamic(edges, n)
+            g2, c2, t2 = seeded_dynamic(edges, n)
+            semi_insert(g1, c1, t1, u, v)
+            semi_insert_star(g2, c2, t2, u, v)
+            assert list(c1) == list(c2)
+            assert list(t1) == list(t2)
+
+
+class TestPruning:
+    """Section V-C: SemiInsert* touches far fewer nodes than SemiInsert."""
+
+    def test_never_more_computations_than_two_phase(self, rng):
+        for _ in range(10):
+            n = rng.randint(6, 40)
+            edges = make_random_edges(rng, n, 0.2)
+            candidates = missing_edges(edges, n)
+            if not candidates:
+                continue
+            u, v = rng.choice(candidates)
+            g1, c1, t1 = seeded_dynamic(edges, n)
+            g2, c2, t2 = seeded_dynamic(edges, n)
+            two = semi_insert(g1, c1, t1, u, v)
+            one = semi_insert_star(g2, c2, t2, u, v)
+            assert one.node_computations <= two.node_computations
+
+    def test_candidate_set_is_subset(self, rng):
+        for _ in range(10):
+            n = rng.randint(6, 40)
+            edges = make_random_edges(rng, n, 0.2)
+            candidates = missing_edges(edges, n)
+            if not candidates:
+                continue
+            u, v = rng.choice(candidates)
+            g1, c1, t1 = seeded_dynamic(edges, n)
+            g2, c2, t2 = seeded_dynamic(edges, n)
+            two = semi_insert(g1, c1, t1, u, v)
+            one = semi_insert_star(g2, c2, t2, u, v)
+            assert one.candidate_nodes <= two.candidate_nodes
+
+    def test_large_subcore_small_change(self):
+        """A long core-1 path: SemiInsert promotes the whole path, the
+        starred variant stops at the cnt filter."""
+        path = [(i, i + 1) for i in range(30)]
+        u, v = 0, 31
+        path_edges = path + [(31, 32)]
+        g1, c1, t1 = seeded_dynamic(path_edges, 33)
+        g2, c2, t2 = seeded_dynamic(path_edges, 33)
+        two = semi_insert(g1, c1, t1, 0, 32)
+        one = semi_insert_star(g2, c2, t2, 0, 32)
+        assert list(c1) == list(c2)
+        assert one.candidate_nodes < two.candidate_nodes
+
+    def test_cache_limit_zero_still_exact(self, rng):
+        """With no adjacency cache every reload hits the device."""
+        n = 20
+        edges = make_random_edges(rng, n, 0.25)
+        candidates = missing_edges(edges, n)
+        if not candidates:
+            pytest.skip("dense draw")
+        u, v = candidates[0]
+        graph, core, cnt = seeded_dynamic(edges, n)
+        semi_insert_star(graph, core, cnt, u, v, cache_limit=0)
+        assert_state_exact(graph, core, cnt)

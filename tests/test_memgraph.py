@@ -1,0 +1,133 @@
+"""Unit tests for the in-memory graph and edge normalization."""
+
+import pytest
+
+from repro.errors import EdgeExistsError, EdgeNotFoundError, GraphError
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph, normalize_edges
+
+
+class TestNormalizeEdges:
+    def test_drops_self_loops(self):
+        edges, n = normalize_edges([(0, 0), (0, 1)])
+        assert edges == [(0, 1)]
+        assert n == 2
+
+    def test_deduplicates_both_orientations(self):
+        edges, n = normalize_edges([(0, 1), (1, 0), (0, 1)])
+        assert edges == [(0, 1)]
+
+    def test_canonical_order(self):
+        edges, _ = normalize_edges([(5, 2)])
+        assert edges == [(2, 5)]
+
+    def test_infers_num_nodes(self):
+        _, n = normalize_edges([(0, 9)])
+        assert n == 10
+
+    def test_empty(self):
+        edges, n = normalize_edges([])
+        assert edges == []
+        assert n == 0
+
+    def test_explicit_num_nodes_allows_isolated(self):
+        _, n = normalize_edges([(0, 1)], num_nodes=5)
+        assert n == 5
+
+    def test_rejects_too_small_num_nodes(self):
+        with pytest.raises(GraphError):
+            normalize_edges([(0, 9)], num_nodes=5)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphError):
+            normalize_edges([(-1, 2)])
+
+
+class TestMemoryGraph:
+    def test_from_edges_basic(self):
+        g = MemoryGraph.from_edges([(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.num_arcs == 4
+        assert g.neighbors(1) == [0, 2]
+        assert g.degree(1) == 2
+
+    def test_degrees(self):
+        g = MemoryGraph.from_edges([(0, 1), (1, 2)], num_nodes=4)
+        assert g.degrees() == [1, 2, 1, 0]
+
+    def test_has_edge(self):
+        g = MemoryGraph.from_edges([(0, 1)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 0)
+        assert not g.has_edge(5, 0)
+
+    def test_edges_yields_each_once(self):
+        edge_list = [(0, 1), (0, 2), (1, 2)]
+        g = MemoryGraph.from_edges(edge_list)
+        assert sorted(g.edges()) == edge_list
+
+    def test_insert_edge(self):
+        g = MemoryGraph(3)
+        g.insert_edge(0, 2)
+        assert g.has_edge(2, 0)
+
+    def test_insert_duplicate_raises(self):
+        g = MemoryGraph.from_edges([(0, 1)])
+        with pytest.raises(EdgeExistsError):
+            g.insert_edge(1, 0)
+
+    def test_insert_self_loop_raises(self):
+        g = MemoryGraph(2)
+        with pytest.raises(GraphError):
+            g.insert_edge(1, 1)
+
+    def test_insert_out_of_range_raises(self):
+        g = MemoryGraph(2)
+        with pytest.raises(GraphError):
+            g.insert_edge(0, 5)
+
+    def test_delete_edge(self):
+        g = MemoryGraph.from_edges([(0, 1), (1, 2)])
+        g.delete_edge(1, 0)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+
+    def test_delete_missing_raises(self):
+        g = MemoryGraph.from_edges([(0, 1)], num_nodes=3)
+        with pytest.raises(EdgeNotFoundError):
+            g.delete_edge(0, 2)
+
+    def test_add_node(self):
+        g = MemoryGraph(2)
+        new = g.add_node()
+        assert new == 2
+        assert g.num_nodes == 3
+
+    def test_copy_is_independent(self):
+        g = MemoryGraph.from_edges([(0, 1)])
+        clone = g.copy()
+        clone.delete_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+    def test_equality(self):
+        a = MemoryGraph.from_edges([(0, 1)])
+        b = MemoryGraph.from_edges([(1, 0)])
+        assert a == b
+
+    def test_iter_adjacency_range(self):
+        g = MemoryGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        rows = list(g.iter_adjacency(1, 3))
+        assert rows == [(1, [0, 2]), (2, [1, 3])]
+
+    def test_from_storage_matches(self):
+        edges = [(0, 1), (0, 2), (1, 2), (2, 3)]
+        storage = GraphStorage.from_edges(edges)
+        g = MemoryGraph.from_storage(storage)
+        assert sorted(g.edges()) == edges
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            MemoryGraph(-1)

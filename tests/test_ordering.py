@@ -1,0 +1,130 @@
+"""Tests for degeneracy orderings and the classic k-core applications."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.core.imcore import im_core
+from repro.core.ordering import (
+    clique_number_upper_bound,
+    degeneracy_ordering,
+    densest_core,
+    greedy_coloring,
+)
+from repro.datasets import generators
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import graph_edges, make_random_edges
+
+
+class TestDegeneracyOrdering:
+    def test_is_a_permutation(self, paper_graph):
+        edges, n = paper_graph
+        order, cores = degeneracy_ordering(MemoryGraph.from_edges(edges, n))
+        assert sorted(order) == list(range(n))
+
+    def test_cores_match_imcore(self, paper_graph):
+        edges, n = paper_graph
+        graph = MemoryGraph.from_edges(edges, n)
+        _, cores = degeneracy_ordering(graph)
+        assert list(cores) == list(im_core(graph).cores)
+
+    def test_later_neighbors_bounded_by_core(self, rng):
+        """The defining property: each node has <= core(v) later
+        neighbours in the ordering."""
+        n = 60
+        edges = make_random_edges(rng, n, 0.12)
+        graph = MemoryGraph.from_edges(edges, n)
+        order, cores = degeneracy_ordering(graph)
+        position = {v: i for i, v in enumerate(order)}
+        for v in range(n):
+            later = sum(1 for u in graph.neighbors(v)
+                        if position[u] > position[v])
+            assert later <= cores[v]
+
+    @given(graph_edges(max_nodes=18))
+    @settings(max_examples=30, deadline=None)
+    def test_property_holds_on_arbitrary_graphs(self, graph):
+        edges, n = graph
+        g = MemoryGraph.from_edges(edges, n)
+        order, cores = degeneracy_ordering(g)
+        position = {v: i for i, v in enumerate(order)}
+        kmax = max(cores) if n else 0
+        for v in range(n):
+            later = sum(1 for u in g.neighbors(v)
+                        if position[u] > position[v])
+            assert later <= kmax
+
+    def test_empty_graph(self):
+        order, cores = degeneracy_ordering(MemoryGraph(0))
+        assert order == []
+
+
+class TestGreedyColoring:
+    def test_proper_coloring(self, rng):
+        n = 50
+        edges = make_random_edges(rng, n, 0.15)
+        graph = MemoryGraph.from_edges(edges, n)
+        colors = greedy_coloring(graph)
+        for u, v in graph.edges():
+            assert colors[u] != colors[v]
+
+    def test_uses_at_most_degeneracy_plus_one(self, rng):
+        for seed in (1, 2, 3):
+            local = random.Random(seed)
+            n = 40
+            edges = make_random_edges(local, n, 0.2)
+            graph = MemoryGraph.from_edges(edges, n)
+            _, cores = degeneracy_ordering(graph)
+            colors = greedy_coloring(graph)
+            kmax = max(cores) if n else 0
+            assert max(colors) + 1 <= kmax + 1
+
+    def test_clique_needs_exactly_its_size(self):
+        edges, n = generators.complete_graph(6)
+        graph = MemoryGraph.from_edges(edges, n)
+        colors = greedy_coloring(graph)
+        assert len(set(colors)) == 6
+
+
+class TestCliqueBound:
+    def test_bound_for_planted_clique(self):
+        edges, n = generators.erdos_renyi(150, 200, seed=5)
+        edges, n = generators.plant_clique(edges, n, 10, seed=5)
+        cores = im_core(MemoryGraph.from_edges(edges, n)).cores
+        # The 10-clique fits under the bound.
+        assert clique_number_upper_bound(cores) >= 10
+
+    def test_empty(self):
+        assert clique_number_upper_bound([]) == 0
+
+
+class TestDensestCore:
+    def test_finds_planted_dense_core(self):
+        edges, n = generators.erdos_renyi(300, 400, seed=6)
+        edges, n = generators.plant_clique(edges, n, 14, seed=6)
+        graph = MemoryGraph.from_edges(edges, n)
+        k, nodes, density = densest_core(graph)
+        # A 14-clique has density 6.5; the sparse background ~1.3.
+        assert density >= 6.0
+        assert len(nodes) < 50
+
+    def test_density_definition(self, paper_graph):
+        edges, n = paper_graph
+        graph = MemoryGraph.from_edges(edges, n)
+        k, nodes, density = densest_core(graph)
+        members = set(nodes)
+        internal = sum(1 for u, v in graph.edges()
+                       if u in members and v in members)
+        assert density == internal / len(nodes)
+
+    def test_half_approximation(self, rng):
+        """densest core density >= max subgraph density / 2 (spot check
+        against the best single k-core which upper-bounds nothing here,
+        so check against the whole graph instead)."""
+        n = 40
+        edges = make_random_edges(rng, n, 0.2)
+        graph = MemoryGraph.from_edges(edges, n)
+        _, _, density = densest_core(graph)
+        whole = len(edges) / n
+        assert density >= whole / 2

@@ -1,0 +1,113 @@
+"""Cross-cutting property-based tests.
+
+These exercise whole-system invariants that tie the modules together:
+all five decomposition algorithms agree on arbitrary graphs, core numbers
+behave monotonically under subgraphs, and the semi-external state stays
+exact under arbitrary update interleavings.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    em_core,
+    im_core,
+    satisfies_locality,
+    semi_core,
+    semi_core_plus,
+    semi_core_star,
+)
+from repro.core.maintenance.maintainer import CoreMaintainer
+from repro.storage.dynamic import DynamicGraph
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import graph_edges, nx_core_numbers
+
+
+class TestAlgorithmsAgree:
+    @given(graph_edges(max_nodes=24))
+    @settings(max_examples=40, deadline=None)
+    def test_all_five_algorithms_identical(self, graph):
+        edges, n = graph
+        reference = nx_core_numbers(edges, n)
+        assert list(im_core(MemoryGraph.from_edges(edges, n)).cores) \
+            == reference
+        for runner in (semi_core, semi_core_plus, semi_core_star):
+            storage = GraphStorage.from_edges(edges, n)
+            assert list(runner(storage).cores) == reference
+        storage = GraphStorage.from_edges(edges, n)
+        assert list(em_core(storage, partition_arcs=16,
+                            memory_budget_bytes=512).cores) == reference
+
+    @given(graph_edges(max_nodes=24))
+    @settings(max_examples=30, deadline=None)
+    def test_output_satisfies_locality_theorem(self, graph):
+        edges, n = graph
+        storage = GraphStorage.from_edges(edges, n)
+        result = semi_core_star(storage)
+        mem = MemoryGraph.from_edges(edges, n)
+        assert satisfies_locality(result.cores, mem.neighbors, n)
+
+
+class TestStructuralProperties:
+    @given(graph_edges(max_nodes=20), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_cores_monotone_under_edge_removal(self, graph, rnd):
+        """Removing edges never increases any core number."""
+        edges, n = graph
+        if not edges:
+            return
+        before = nx_core_numbers(edges, n)
+        kept = [e for e in edges if rnd.random() < 0.5]
+        after = nx_core_numbers(kept, n)
+        assert all(a <= b for a, b in zip(after, before))
+
+    @given(graph_edges(max_nodes=20))
+    @settings(max_examples=30, deadline=None)
+    def test_core_bounded_by_degree(self, graph):
+        edges, n = graph
+        cores = nx_core_numbers(edges, n)
+        degrees = MemoryGraph.from_edges(edges, n).degrees()
+        assert all(c <= d for c, d in zip(cores, degrees))
+
+    @given(graph_edges(max_nodes=20))
+    @settings(max_examples=30, deadline=None)
+    def test_kmax_bounded_by_sqrt_edges(self, graph):
+        """A k-core needs at least k(k+1)/2 edges."""
+        edges, n = graph
+        cores = nx_core_numbers(edges, n)
+        kmax = max(cores) if cores else 0
+        assert kmax * (kmax + 1) <= 2 * len(edges) or kmax == 0
+
+
+class TestMaintainerFuzz:
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_random_update_streams_stay_exact(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 22)
+        edges = [(u, v) for u in range(n) for v in range(u + 1, n)
+                 if rng.random() < 0.2]
+        storage = GraphStorage.from_edges(edges, n)
+        graph = DynamicGraph(storage, buffer_capacity=6)
+        maintainer = CoreMaintainer.from_graph(graph)
+        present = set(edges)
+        for _ in range(25):
+            if present and rng.random() < 0.5:
+                edge = rng.choice(sorted(present))
+                present.discard(edge)
+                maintainer.delete_edge(*edge)
+            else:
+                free = [(u, v) for u in range(n) for v in range(u + 1, n)
+                        if (u, v) not in present]
+                if not free:
+                    continue
+                edge = rng.choice(free)
+                present.add(edge)
+                algorithm = rng.choice(["star", "two-phase"])
+                maintainer.insert_edge(*edge, algorithm=algorithm)
+        assert list(maintainer.cores) == nx_core_numbers(sorted(present), n)
+        assert maintainer.verify()

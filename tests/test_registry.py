@@ -1,0 +1,101 @@
+"""Tests for the 12-dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    BIG_DATASETS,
+    DATASETS,
+    SMALL_DATASETS,
+    dataset_names,
+    generate_dataset,
+    get_spec,
+    load_dataset,
+)
+from repro.errors import ReproError
+
+
+class TestRegistryShape:
+    def test_twelve_datasets(self):
+        assert len(DATASETS) == 12
+        assert len(SMALL_DATASETS) == 6
+        assert len(BIG_DATASETS) == 6
+
+    def test_names_match_table1(self):
+        assert set(dataset_names()) == {
+            "dblp", "youtube", "wiki", "cpt", "lj", "orkut",
+            "webbase", "it", "twitter", "sk", "uk", "clueweb",
+        }
+
+    def test_paper_stats_recorded(self):
+        spec = get_spec("clueweb")
+        assert spec.paper.nodes == 978_408_098
+        assert spec.paper.edges == 42_574_107_469
+        assert spec.paper.kmax == 4244
+
+    def test_lookup_case_insensitive(self):
+        assert get_spec("DBLP").name == "dblp"
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError, match="unknown dataset"):
+            get_spec("facebook")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_every_proxy_builds_at_tiny_scale(self, name):
+        edges, n = generate_dataset(name, scale=0.05)
+        assert n > 0
+        assert edges
+        assert all(0 <= u < v < n for u, v in edges)
+
+    def test_deterministic(self):
+        assert generate_dataset("dblp", 0.1) == generate_dataset("dblp", 0.1)
+
+    def test_seed_changes_output(self):
+        a = generate_dataset("dblp", 0.1, seed=1)
+        b = generate_dataset("dblp", 0.1, seed=2)
+        assert a != b
+
+    def test_scale_grows_graph(self):
+        small = generate_dataset("youtube", 0.05)
+        large = generate_dataset("youtube", 0.2)
+        assert large[1] > small[1]
+        assert len(large[0]) > len(small[0])
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            generate_dataset("dblp", 0)
+
+    def test_groups_preserve_relative_density(self):
+        """Orkut (density 38 in Table I) is denser than Youtube (2.6)."""
+        orkut_edges, orkut_n = generate_dataset("orkut", 0.2)
+        yt_edges, yt_n = generate_dataset("youtube", 0.2)
+        assert len(orkut_edges) / orkut_n > 3 * len(yt_edges) / yt_n
+
+
+class TestLoadDataset:
+    def test_memory_backed(self):
+        storage = load_dataset("dblp", scale=0.05)
+        assert storage.num_nodes > 0
+        assert storage.num_edges > 0
+
+    def test_cache_roundtrip(self, tmp_path):
+        first = load_dataset("dblp", scale=0.05, cache_dir=str(tmp_path))
+        rows_first = {v: list(first.neighbors(v))
+                      for v in range(first.num_nodes)}
+        first.close()
+        second = load_dataset("dblp", scale=0.05, cache_dir=str(tmp_path))
+        rows_second = {v: list(second.neighbors(v))
+                       for v in range(second.num_nodes)}
+        assert rows_first == rows_second
+        second.close()
+
+    def test_cache_files_created(self, tmp_path):
+        load_dataset("youtube", scale=0.05, cache_dir=str(tmp_path)).close()
+        names = {p.name for p in tmp_path.iterdir()}
+        assert any(name.endswith(".nodes") for name in names)
+        assert any(name.endswith(".edges") for name in names)
+
+    def test_block_size_override(self):
+        storage = load_dataset("dblp", scale=0.05, block_size=512)
+        assert storage.block_size == 512

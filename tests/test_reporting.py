@@ -1,0 +1,72 @@
+"""Tests for the reporting helpers."""
+
+from repro.bench.reporting import (
+    format_bytes,
+    format_count,
+    format_seconds,
+    format_series,
+    format_table,
+    load_results,
+    save_results,
+)
+
+
+class TestFormatCount:
+    def test_plain_numbers(self):
+        assert format_count(0) == "0"
+        assert format_count(999) == "999"
+
+    def test_suffixes(self):
+        assert format_count(1500) == "1.50K"
+        assert format_count(2_500_000) == "2.50M"
+        assert format_count(42_574_107_469) == "42.57G"
+
+    def test_fractional(self):
+        assert format_count(2.5) == "2.50"
+
+
+class TestFormatBytes:
+    def test_ranges(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.00KB"
+        assert format_bytes(3 << 20) == "3.00MB"
+        assert format_bytes(int(4.2 * (1 << 30))) == "4.20GB"
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(120) == "2.0min"
+        assert format_seconds(2.5) == "2.50s"
+        assert format_seconds(0.015) == "15.00ms"
+        assert format_seconds(5e-5) == "50us"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("name", "value"),
+                             [("a", 1), ("long-name", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or "-" in line
+                   for line in lines[1:])
+
+    def test_title(self):
+        table = format_table(("x",), [(1,)], title="Table I")
+        assert table.splitlines()[0] == "Table I"
+
+    def test_series(self):
+        text = format_series("Fig 3", [1, 2], [10, 5],
+                             x_label="iteration", y_label="changed")
+        assert "iteration" in text
+        assert "changed" in text
+        assert "10" in text
+
+
+class TestResultsFiles:
+    def test_roundtrip(self, tmp_path):
+        payload = {"figure": "9a", "rows": [{"algo": "SemiCore*",
+                                             "seconds": 1.5}]}
+        path = tmp_path / "results.json"
+        save_results(path, payload)
+        assert load_results(path) == payload

@@ -1,0 +1,72 @@
+"""Tests for the result objects and I/O snapshot helpers."""
+
+from repro.core.result import (
+    DecompositionResult,
+    MaintenanceResult,
+    io_delta,
+    io_snapshot,
+)
+from repro.storage.blockio import IOStats
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+
+def make_decomposition(cores=(3, 2, 1)):
+    return DecompositionResult(
+        algorithm="SemiCore*",
+        cores=list(cores),
+        iterations=3,
+        node_computations=11,
+        io=IOStats(read_ios=7),
+        elapsed_seconds=0.5,
+        model_memory_bytes=72,
+    )
+
+
+class TestDecompositionResult:
+    def test_kmax(self):
+        assert make_decomposition().kmax == 3
+        assert make_decomposition([]).kmax == 0
+
+    def test_core_of(self):
+        assert make_decomposition().core_of(1) == 2
+
+    def test_summary_contains_metrics(self):
+        text = make_decomposition().summary()
+        assert "SemiCore*" in text
+        assert "kmax=3" in text
+        assert "reads=7" in text
+
+
+class TestMaintenanceResult:
+    def test_counts_and_summary(self):
+        result = MaintenanceResult(
+            algorithm="SemiInsert*",
+            operation="insert",
+            edge=(4, 6),
+            changed_nodes=[3, 4, 5, 6],
+            candidate_nodes=5,
+            iterations=2,
+            node_computations=5,
+            io=IOStats(read_ios=5),
+            elapsed_seconds=0.001,
+        )
+        assert result.num_changed == 4
+        text = result.summary()
+        assert "insert(4,6)" in text
+        assert "changed=4" in text
+
+
+class TestIOSnapshots:
+    def test_snapshot_and_delta_on_storage(self):
+        storage = GraphStorage.from_edges([(0, 1), (1, 2)], 3)
+        snap = io_snapshot(storage)
+        storage.neighbors(1)
+        delta = io_delta(storage, snap)
+        assert delta.read_ios > 0
+
+    def test_memory_graph_has_no_io(self):
+        graph = MemoryGraph.from_edges([(0, 1)], 2)
+        snap = io_snapshot(graph)
+        assert snap is None
+        assert io_delta(graph, snap) == IOStats()

@@ -1,0 +1,78 @@
+"""Tests for the Section VI-C sampling protocols."""
+
+import pytest
+
+from repro.datasets.generators import erdos_renyi
+from repro.datasets.sampling import sample_edges, sample_nodes
+from repro.storage.memgraph import MemoryGraph
+
+
+class TestSampleNodes:
+    def test_full_fraction_is_identity(self):
+        edges, n = erdos_renyi(30, 60, seed=1)
+        sampled, sn = sample_nodes(edges, n, 1.0)
+        assert sn == n
+        assert sampled == sorted(set(edges))
+
+    def test_keeps_induced_subgraph(self):
+        # A triangle plus a pendant: sampling keeps only edges among kept.
+        edges = [(0, 1), (0, 2), (1, 2), (2, 3)]
+        sampled, sn = sample_nodes(edges, 4, 0.75, seed=0)
+        assert sn == 3
+        graph = MemoryGraph.from_edges(sampled, sn)
+        # Every surviving edge connects two surviving nodes.
+        for u, v in sampled:
+            assert u < sn and v < sn
+
+    def test_node_count_scales(self):
+        edges, n = erdos_renyi(100, 300, seed=2)
+        for fraction in (0.2, 0.4, 0.6, 0.8):
+            _, sn = sample_nodes(edges, n, fraction, seed=3)
+            assert sn == round(n * fraction)
+
+    def test_edge_count_monotone_in_expectation(self):
+        edges, n = erdos_renyi(200, 2000, seed=4)
+        sizes = [len(sample_nodes(edges, n, f, seed=5)[0])
+                 for f in (0.2, 0.5, 0.8)]
+        assert sizes[0] < sizes[1] < sizes[2] <= len(edges)
+
+    def test_deterministic(self):
+        edges, n = erdos_renyi(50, 120, seed=6)
+        assert sample_nodes(edges, n, 0.5, seed=7) == \
+               sample_nodes(edges, n, 0.5, seed=7)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            sample_nodes([(0, 1)], 2, 0.0)
+        with pytest.raises(ValueError):
+            sample_nodes([(0, 1)], 2, 1.5)
+
+
+class TestSampleEdges:
+    def test_exact_edge_count(self):
+        edges, _ = erdos_renyi(60, 200, seed=8)
+        for fraction in (0.2, 0.5, 1.0):
+            sampled, _ = sample_edges(edges, fraction, seed=9)
+            assert len(sampled) == round(len(edges) * fraction)
+
+    def test_keeps_incident_nodes_only(self):
+        edges = [(0, 1), (2, 3), (4, 5)]
+        sampled, sn = sample_edges(edges, 1 / 3, seed=0)
+        assert len(sampled) == 1
+        assert sn == 2  # just the two endpoints, compacted
+        assert sampled == [(0, 1)]
+
+    def test_ids_compacted_in_order(self):
+        edges = [(3, 9), (9, 20)]
+        sampled, sn = sample_edges(edges, 1.0)
+        assert sn == 3
+        assert sampled == [(0, 1), (1, 2)]
+
+    def test_deterministic(self):
+        edges, _ = erdos_renyi(50, 120, seed=10)
+        assert sample_edges(edges, 0.4, seed=11) == \
+               sample_edges(edges, 0.4, seed=11)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            sample_edges([(0, 1)], 0.0)

@@ -1,0 +1,142 @@
+"""Tests for the basic semi-external algorithm (Algorithm 3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.imcore import im_core
+from repro.core.semicore import semi_core
+from repro.datasets import generators
+from repro.errors import GraphError
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import graph_edges, make_random_edges, nx_core_numbers
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_storage):
+        result = semi_core(paper_storage)
+        assert list(result.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+
+    def test_both_backends(self, storage_factory, paper_graph):
+        edges, n = paper_graph
+        result = semi_core(storage_factory(edges, n))
+        assert list(result.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+
+    def test_random_graphs(self, rng):
+        for _ in range(15):
+            n = rng.randint(2, 60)
+            edges = make_random_edges(rng, n, 0.15)
+            result = semi_core(GraphStorage.from_edges(edges, n))
+            assert list(result.cores) == nx_core_numbers(edges, n)
+
+    @given(graph_edges())
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_graphs(self, graph):
+        edges, n = graph
+        result = semi_core(GraphStorage.from_edges(edges, n))
+        assert list(result.cores) == nx_core_numbers(edges, n)
+
+    def test_empty_graph(self):
+        result = semi_core(GraphStorage.from_edges([], 0))
+        assert list(result.cores) == []
+        assert result.iterations == 1
+
+
+class TestInitialBounds:
+    def test_custom_upper_bound_converges(self, paper_storage):
+        """Any pointwise upper bound converges to the same fixpoint."""
+        result = semi_core(paper_storage, initial_cores=[9] * 9)
+        assert list(result.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+
+    def test_exact_start_converges_immediately(self, paper_storage):
+        exact = [3, 3, 3, 3, 2, 2, 2, 2, 1]
+        result = semi_core(paper_storage, initial_cores=exact)
+        assert list(result.cores) == exact
+        assert result.iterations == 1  # single verification pass
+
+    def test_wrong_length_rejected(self, paper_storage):
+        with pytest.raises(GraphError):
+            semi_core(paper_storage, initial_cores=[1, 2, 3])
+
+    def test_max_iterations_cap(self, paper_storage):
+        result = semi_core(paper_storage, max_iterations=1)
+        assert result.iterations == 1
+        # One pass from degrees is not yet converged on this graph.
+        assert list(result.cores) == [3, 3, 3, 3, 3, 3, 2, 2, 1]
+
+
+class TestConvergenceTrace:
+    def test_fig3_style_changes_decrease(self):
+        """Change counts fall off steeply, the Fig. 3 phenomenon."""
+        edges, n = generators.web_graph(600, 6, 12, 40, seed=5)
+        storage = GraphStorage.from_edges(edges, n)
+        result = semi_core(storage, trace_changes=True)
+        changes = result.per_iteration_changes
+        assert changes[-1] == 0  # final verification pass
+        assert changes[0] > changes[len(changes) // 2] >= changes[-1]
+
+    def test_tail_path_forces_one_change_per_iteration(self):
+        """The anti-scan-order tail propagates one hop per pass."""
+        edges, n = generators.append_tail_path(
+            *generators.complete_graph(4), length=20, anchor=0)
+        result = semi_core(GraphStorage.from_edges(edges, n),
+                           trace_changes=True)
+        # 20-node tail: the fixpoint needs ~one pass per hop.
+        assert result.iterations >= 18
+        assert result.per_iteration_changes.count(1) >= 15
+
+    def test_every_iteration_computes_all_nodes_in_order(
+            self, medium_random_graph):
+        edges, n = medium_random_graph
+        storage = GraphStorage.from_edges(edges, n)
+        result = semi_core(storage, trace_computed=True)
+        # Each iteration computes every node exactly once, in id order.
+        for computed in result.computed_per_iteration:
+            assert computed == list(range(n))
+
+    def test_values_never_increase(self, medium_random_graph):
+        edges, n = medium_random_graph
+        previous = None
+        for iterations in (1, 2, 3):
+            result = semi_core(GraphStorage.from_edges(edges, n),
+                               max_iterations=iterations)
+            current = list(result.cores)
+            if previous is not None:
+                assert all(c <= p for c, p in zip(current, previous))
+            previous = current
+
+
+class TestComplexityAccounting:
+    def test_io_grows_by_one_scan_per_iteration(self, paper_graph):
+        """Theorem 4.2: each extra iteration costs exactly one scan."""
+        edges, n = paper_graph
+
+        def reads_for(iterations):
+            storage = GraphStorage.from_edges(edges, n, block_size=64)
+            storage.io_stats.reset()
+            result = semi_core(storage, max_iterations=iterations)
+            return result.io.read_ios
+
+        storage = GraphStorage.from_edges(edges, n, block_size=64)
+        storage.io_stats.reset()
+        list(storage.iter_adjacency())
+        scan_cost = storage.io_stats.read_ios
+        assert reads_for(3) - reads_for(2) == scan_cost
+        assert reads_for(4) - reads_for(3) == scan_cost
+
+    def test_no_write_ios(self, paper_graph):
+        edges, n = paper_graph
+        storage = GraphStorage.from_edges(edges, n, block_size=64)
+        assert semi_core(storage).io.write_ios == 0
+
+    def test_computations_are_n_per_iteration(self, paper_storage):
+        result = semi_core(paper_storage)
+        assert result.node_computations == 9 * result.iterations
+
+    def test_model_memory_linear_in_n(self):
+        edges, n = generators.cycle_graph(1000)
+        result = semi_core(GraphStorage.from_edges(edges, n))
+        assert result.model_memory_bytes < 8 * n + 1024

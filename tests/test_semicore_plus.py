@@ -1,0 +1,100 @@
+"""Tests for partial node computation (Algorithm 4)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.semicore import semi_core
+from repro.core.semicore_plus import semi_core_plus
+from repro.datasets import generators
+from repro.errors import GraphError
+from repro.storage.graphstore import GraphStorage
+
+from tests.conftest import graph_edges, make_random_edges, nx_core_numbers
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_storage):
+        result = semi_core_plus(paper_storage)
+        assert list(result.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+
+    def test_both_backends(self, storage_factory, paper_graph):
+        edges, n = paper_graph
+        result = semi_core_plus(storage_factory(edges, n))
+        assert list(result.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+
+    def test_random_graphs(self, rng):
+        for _ in range(15):
+            n = rng.randint(2, 60)
+            edges = make_random_edges(rng, n, 0.2)
+            result = semi_core_plus(GraphStorage.from_edges(edges, n))
+            assert list(result.cores) == nx_core_numbers(edges, n)
+
+    @given(graph_edges())
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_graphs(self, graph):
+        edges, n = graph
+        result = semi_core_plus(GraphStorage.from_edges(edges, n))
+        assert list(result.cores) == nx_core_numbers(edges, n)
+
+    def test_empty_graph(self):
+        result = semi_core_plus(GraphStorage.from_edges([], 0))
+        assert list(result.cores) == []
+
+    def test_isolated_nodes(self):
+        result = semi_core_plus(GraphStorage.from_edges([(0, 1)], 4))
+        assert list(result.cores) == [1, 1, 0, 0]
+
+    def test_wrong_initial_length_rejected(self, paper_storage):
+        with pytest.raises(GraphError):
+            semi_core_plus(paper_storage, initial_cores=[1])
+
+
+class TestSavingsOverSemiCore:
+    def test_fewer_computations_on_paper_graph(self, paper_graph):
+        edges, n = paper_graph
+        base = semi_core(GraphStorage.from_edges(edges, n))
+        plus = semi_core_plus(GraphStorage.from_edges(edges, n))
+        assert plus.node_computations < base.node_computations
+        assert (base.node_computations, plus.node_computations) == (36, 23)
+
+    def test_fewer_computations_on_tail_graph(self):
+        """Lemma 4.1 pruning shines when few nodes change per pass."""
+        edges, n = generators.web_graph(800, 5, 10, 60, seed=2)
+        base = semi_core(GraphStorage.from_edges(edges, n))
+        plus = semi_core_plus(GraphStorage.from_edges(edges, n))
+        assert list(base.cores) == list(plus.cores)
+        assert plus.node_computations < base.node_computations / 3
+
+    def test_fewer_read_ios_on_tail_graph(self):
+        edges, n = generators.web_graph(800, 5, 10, 60, seed=2)
+        block = 4096
+        base = semi_core(GraphStorage.from_edges(edges, n, block_size=block))
+        plus = semi_core_plus(
+            GraphStorage.from_edges(edges, n, block_size=block))
+        assert plus.io.read_ios < base.io.read_ios
+
+    def test_no_write_ios(self, paper_storage):
+        result = semi_core_plus(paper_storage)
+        assert result.io.write_ios == 0
+
+
+class TestActivationSemantics:
+    def test_first_iteration_computes_every_node(self, paper_storage):
+        result = semi_core_plus(paper_storage, trace_computed=True)
+        assert result.computed_per_iteration[0] == list(range(9))
+
+    def test_iteration_order_is_ascending(self, medium_random_graph):
+        edges, n = medium_random_graph
+        result = semi_core_plus(GraphStorage.from_edges(edges, n),
+                                trace_computed=True)
+        for computed in result.computed_per_iteration:
+            assert computed == sorted(computed)
+
+    def test_recomputed_nodes_touch_changed_neighbors(self, paper_graph):
+        """After iteration 1, only neighbours of changed nodes recompute."""
+        edges, n = paper_graph
+        result = semi_core_plus(GraphStorage.from_edges(edges, n),
+                                trace_computed=True, trace_changes=True)
+        # Fig. 4: iteration 3 recomputes v3, v4 (neighbours of v5) and v5.
+        assert result.computed_per_iteration[2] == [3, 4, 5]
+        assert result.computed_per_iteration[3] == [2, 3]

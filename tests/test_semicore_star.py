@@ -1,0 +1,136 @@
+"""Tests for optimal node computation (Algorithm 5)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.locality import compute_cnt
+from repro.core.semicore import semi_core
+from repro.core.semicore_plus import semi_core_plus
+from repro.core.semicore_star import semi_core_star
+from repro.datasets import generators
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import graph_edges, make_random_edges, nx_core_numbers
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_storage):
+        result = semi_core_star(paper_storage)
+        assert list(result.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+
+    def test_both_backends(self, storage_factory, paper_graph):
+        edges, n = paper_graph
+        result = semi_core_star(storage_factory(edges, n))
+        assert list(result.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+
+    def test_random_graphs(self, rng):
+        for _ in range(15):
+            n = rng.randint(2, 60)
+            edges = make_random_edges(rng, n, 0.2)
+            result = semi_core_star(GraphStorage.from_edges(edges, n))
+            assert list(result.cores) == nx_core_numbers(edges, n)
+
+    @given(graph_edges())
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_graphs(self, graph):
+        edges, n = graph
+        result = semi_core_star(GraphStorage.from_edges(edges, n))
+        assert list(result.cores) == nx_core_numbers(edges, n)
+
+    def test_empty_and_isolated(self):
+        assert list(semi_core_star(GraphStorage.from_edges([], 0)).cores) == []
+        result = semi_core_star(GraphStorage.from_edges([(0, 1)], 5))
+        assert list(result.cores) == [1, 1, 0, 0, 0]
+
+
+class TestCntInvariant:
+    def test_cnt_matches_eq2_at_convergence(self, medium_random_graph):
+        """Eq. 2: cnt(v) == |{u in nbr(v) : core(u) >= core(v)}|."""
+        edges, n = medium_random_graph
+        storage = GraphStorage.from_edges(edges, n)
+        result = semi_core_star(storage)
+        graph = MemoryGraph.from_edges(edges, n)
+        for v in range(n):
+            expected = compute_cnt(result.cores, graph.neighbors(v),
+                                   result.cores[v])
+            assert result.cnt[v] == expected
+
+    @given(graph_edges(max_nodes=20))
+    @settings(max_examples=30, deadline=None)
+    def test_cnt_invariant_hypothesis(self, graph):
+        edges, n = graph
+        result = semi_core_star(GraphStorage.from_edges(edges, n))
+        g = MemoryGraph.from_edges(edges, n)
+        for v in range(n):
+            assert result.cnt[v] == compute_cnt(
+                result.cores, g.neighbors(v), result.cores[v])
+
+    def test_cnt_at_least_core(self, medium_random_graph):
+        """Lemma 4.2 at the fixpoint: cnt(v) >= core(v) everywhere."""
+        edges, n = medium_random_graph
+        result = semi_core_star(GraphStorage.from_edges(edges, n))
+        for v in range(n):
+            assert result.cnt[v] >= result.cores[v]
+
+
+class TestOptimality:
+    def test_paper_graph_counts(self, paper_graph):
+        edges, n = paper_graph
+        star = semi_core_star(GraphStorage.from_edges(edges, n))
+        assert star.node_computations == 11
+        assert star.iterations == 3
+
+    def test_fewest_computations_of_the_three(self):
+        edges, n = generators.web_graph(800, 5, 10, 60, seed=2)
+        base = semi_core(GraphStorage.from_edges(edges, n))
+        plus = semi_core_plus(GraphStorage.from_edges(edges, n))
+        star = semi_core_star(GraphStorage.from_edges(edges, n))
+        assert list(star.cores) == list(base.cores) == list(plus.cores)
+        assert star.node_computations <= plus.node_computations
+        assert plus.node_computations <= base.node_computations
+
+    def test_every_computation_after_first_pass_updates(self):
+        """The optimality claim: post-first-pass loads always decrease."""
+        edges, n = generators.web_graph(400, 5, 10, 30, seed=7)
+        result = semi_core_star(GraphStorage.from_edges(edges, n),
+                                trace_computed=True, trace_changes=True)
+        computed = result.computed_per_iteration
+        changes = result.per_iteration_changes
+        for i in range(1, len(computed)):
+            # Each later iteration changes exactly as many nodes as it
+            # computes (Lemma 4.2 makes the test sufficient).
+            assert changes[i] == len(computed[i])
+
+    def test_least_read_ios(self):
+        edges, n = generators.web_graph(800, 5, 10, 60, seed=2)
+        base = semi_core(GraphStorage.from_edges(edges, n))
+        star = semi_core_star(GraphStorage.from_edges(edges, n))
+        assert star.io.read_ios < base.io.read_ios
+        assert star.io.write_ios == 0
+
+    def test_result_carries_cnt(self, paper_storage):
+        result = semi_core_star(paper_storage)
+        assert result.cnt is not None
+        assert len(result.cnt) == 9
+
+    def test_memory_is_twice_semicore(self):
+        """A1/Fig. 9(c): SemiCore* keeps core+cnt, SemiCore core only."""
+        edges, n = generators.cycle_graph(2000)
+        base = semi_core(GraphStorage.from_edges(edges, n))
+        star = semi_core_star(GraphStorage.from_edges(edges, n))
+        assert star.model_memory_bytes > base.model_memory_bytes
+        assert star.model_memory_bytes <= 2 * base.model_memory_bytes + 1024
+
+
+class TestBlockSizeInvariance:
+    @pytest.mark.parametrize("block_size", [64, 256, 4096, 65536])
+    def test_results_independent_of_block_size(self, paper_graph,
+                                               block_size):
+        """Block size changes I/O counts, never results or work."""
+        edges, n = paper_graph
+        storage = GraphStorage.from_edges(edges, n, block_size=block_size)
+        result = semi_core_star(storage)
+        assert list(result.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+        assert result.node_computations == 11
+        assert result.iterations == 3

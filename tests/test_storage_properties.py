@@ -1,0 +1,124 @@
+"""Property-based tests of the storage substrate.
+
+Hypothesis drives the edge buffer, the buffer pool and the on-disk
+round trip through arbitrary inputs, checking each layer against a
+straightforward model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.blockio import MemoryBlockDevice
+from repro.storage.buffer import EdgeBuffer
+from repro.storage.cache import BufferPool
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import graph_edges
+
+
+@st.composite
+def operation_sequences(draw):
+    """A sequence of insert/delete toggles over a small node universe."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    count = draw(st.integers(min_value=0, max_value=30))
+    ops = []
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 2))
+        v = draw(st.integers(min_value=u + 1, max_value=n - 1))
+        ops.append((u, v))
+    return n, ops
+
+
+class TestEdgeBufferModel:
+    @given(operation_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_toggle_semantics_match_set_model(self, case):
+        """Toggling an edge through the buffer mirrors a plain set."""
+        n, ops = case
+        buffer = EdgeBuffer()
+        model = set()
+        for u, v in ops:
+            if (u, v) in model:
+                model.discard((u, v))
+                buffer.record_delete(u, v)
+            else:
+                model.add((u, v))
+                buffer.record_insert(u, v)
+        assert len(buffer) == len(model)
+        for u, v in model:
+            assert buffer.is_inserted(u, v)
+        # Applying the buffer to an empty base reproduces the model.
+        for v in range(n):
+            expected = sorted({b for a, b in model if a == v}
+                              | {a for a, b in model if b == v})
+            assert buffer.adjust(v, []) == expected
+
+    @given(operation_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_cancellation_is_exact(self, case):
+        """insert+delete pairs leave no trace."""
+        _, ops = case
+        buffer = EdgeBuffer()
+        for u, v in ops:
+            buffer.record_insert(u, v)
+            buffer.record_delete(u, v)
+        assert len(buffer) == 0
+
+
+class TestBufferPoolEquivalence:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=500),
+                              st.integers(min_value=0, max_value=60)),
+                    max_size=40),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_pooled_reads_equal_raw_reads(self, reads, capacity):
+        data = bytes(i % 251 for i in range(600))
+        raw = MemoryBlockDevice(data, block_size=32)
+        pool = BufferPool(MemoryBlockDevice(data, block_size=32),
+                          capacity_blocks=capacity)
+        for offset, size in reads:
+            size = min(size, 600 - offset)
+            assert pool.read_at(offset, size) == raw.read_at(offset, size)
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_pool_never_costs_more_than_uncached(self, capacity):
+        data = bytes(512)
+        pattern = [(0, 16), (64, 16), (0, 16), (128, 16), (64, 16)]
+        plain = MemoryBlockDevice(data, block_size=64)
+        plain.drop_cache()
+        pooled = BufferPool(MemoryBlockDevice(data, block_size=64),
+                            capacity_blocks=capacity)
+        for offset, size in pattern:
+            plain.read_at(offset, size)
+            plain.drop_cache()  # model a cache-less device
+            pooled.read_at(offset, size)
+        assert pooled.stats.read_ios <= plain.stats.read_ios
+
+
+class TestStorageRoundtripProperty:
+    @given(graph_edges(max_nodes=20))
+    @settings(max_examples=40, deadline=None)
+    def test_storage_equals_memory_graph(self, graph):
+        edges, n = graph
+        storage = GraphStorage.from_edges(edges, n, block_size=64)
+        memory = MemoryGraph.from_edges(edges, n)
+        assert storage.num_nodes == memory.num_nodes
+        assert storage.num_edges == memory.num_edges
+        for v in range(n):
+            assert list(storage.neighbors(v)) == memory.neighbors(v)
+
+    @given(graph_edges(max_nodes=16))
+    @settings(max_examples=25, deadline=None)
+    def test_file_backend_equals_memory_backend(self, graph):
+        import tempfile
+
+        edges, n = graph
+        mem = GraphStorage.from_edges(edges, n)
+        with tempfile.TemporaryDirectory() as workdir:
+            disk = GraphStorage.from_edges(edges, n,
+                                           path=workdir + "/g")
+            for v in range(n):
+                assert list(mem.neighbors(v)) == list(disk.neighbors(v))
+            disk.close()

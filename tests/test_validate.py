@@ -1,0 +1,79 @@
+"""Tests for the validation tooling."""
+
+from repro.core.imcore import im_core
+from repro.core.validate import validate_cores, verify_storage
+from repro.storage import layout
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+EDGES = [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+
+class TestValidateCores:
+    def test_correct_assignment_clean(self):
+        graph = MemoryGraph.from_edges(EDGES, 4)
+        cores = im_core(graph).cores
+        assert validate_cores(graph, cores) == []
+
+    def test_wrong_value_reported(self):
+        graph = MemoryGraph.from_edges(EDGES, 4)
+        cores = list(im_core(graph).cores)
+        cores[3] += 1
+        issues = validate_cores(graph, cores)
+        assert len(issues) == 1
+        assert "node 3" in issues[0]
+
+    def test_length_mismatch(self):
+        graph = MemoryGraph.from_edges(EDGES, 4)
+        issues = validate_cores(graph, [1, 2])
+        assert "2 entries" in issues[0]
+
+    def test_issue_cap(self):
+        graph = MemoryGraph.from_edges(EDGES, 4)
+        issues = validate_cores(graph, [99, 99, 99, 99], max_issues=2)
+        assert len(issues) == 3  # two issues plus the suppression note
+        assert "suppressed" in issues[-1]
+
+
+class TestVerifyStorage:
+    def test_clean_storage(self):
+        storage = GraphStorage.from_edges(EDGES, 4)
+        assert verify_storage(storage) == []
+
+    def test_clean_with_isolated_nodes(self):
+        storage = GraphStorage.from_edges(EDGES, 7)
+        assert verify_storage(storage) == []
+
+    def test_detects_corrupted_neighbor_id(self):
+        storage = GraphStorage.from_edges(EDGES, 4)
+        # Overwrite the first adjacency entry with an out-of-range id.
+        storage._edges.write_at(layout.edge_entry_position(0),
+                                (999).to_bytes(4, "little"))
+        issues = verify_storage(storage, check_symmetry=False)
+        assert any("out of range" in issue for issue in issues)
+
+    def test_detects_broken_symmetry(self):
+        storage = GraphStorage.from_edges(EDGES, 4)
+        # Replace node 3's single neighbour (2) with 1: (3,1) has no
+        # reverse arc and (2,3) loses its partner.
+        offset, degree = storage.node_entry(3)
+        storage._edges.write_at(layout.edge_entry_position(offset),
+                                (1).to_bytes(4, "little"))
+        issues = verify_storage(storage)
+        assert any("reverse" in issue for issue in issues)
+
+    def test_detects_unsorted_adjacency(self):
+        storage = GraphStorage.from_adjacency(
+            [[2, 1], [0], [0]], 3)
+        issues = verify_storage(storage, check_symmetry=False)
+        assert any("sorted" in issue for issue in issues)
+
+    def test_detects_self_loop(self):
+        storage = GraphStorage.from_adjacency(
+            [[0, 1], [0]], 2)
+        issues = verify_storage(storage, check_symmetry=False)
+        assert any("self loop" in issue for issue in issues)
+
+    def test_empty_graph_clean(self):
+        storage = GraphStorage.from_edges([], 0)
+        assert verify_storage(storage) == []
