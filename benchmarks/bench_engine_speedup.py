@@ -1,0 +1,71 @@
+"""Engine comparison: vectorized vs reference kernels at bench scale.
+
+Runs every engine-aware algorithm under both engines on the *largest*
+generated benchmark graph (the clueweb proxy, the biggest entry in the
+dataset registry) and reports wall-clock speedups.  Two things are
+asserted, matching the engine contract:
+
+* the numpy engine returns bit-identical core numbers and -- on the
+  semi-external scan path -- identical read/write I/O counts;
+* the vectorized SemiCore is at least 5x faster than the reference
+  implementation at full bench scale (the interpreter loop it replaces
+  dominates the reference run).
+"""
+
+import pytest
+
+from repro.bench.harness import compare_engines, engine_speedups
+from repro.bench.reporting import format_count, format_seconds
+from repro.core.engines import available_engines
+from repro.datasets.registry import BIG_DATASETS
+
+from benchmarks.conftest import BENCH_SCALE, load_bench_dataset, once
+
+#: The clueweb proxy is the largest generated benchmark graph.
+LARGEST_DATASET = "clueweb"
+ALGORITHMS = ["semicore", "semicore*", "imcore"]
+
+pytestmark = pytest.mark.skipif(
+    "numpy" not in available_engines(),
+    reason="numpy engine unavailable",
+)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_engine_speedup_largest_graph(benchmark, results, algorithm):
+    assert LARGEST_DATASET in BIG_DATASETS
+    storage = load_bench_dataset(LARGEST_DATASET)
+    outcome = {}
+
+    def run():
+        outcome.update(compare_engines(algorithm, storage,
+                                       engines=("python", "numpy")))
+
+    once(benchmark, run)
+    python_result = outcome["python"]
+    numpy_result = outcome["numpy"]
+    speedup = engine_speedups(outcome)["numpy"]
+
+    results.add(
+        "Engine speedup (largest graph: %s)" % LARGEST_DATASET,
+        algorithm=python_result.algorithm,
+        python_time=format_seconds(python_result.elapsed_seconds),
+        numpy_time=format_seconds(numpy_result.elapsed_seconds),
+        speedup="%.1fx" % speedup,
+        read_ios=format_count(numpy_result.io.read_ios),
+        io_identical=(python_result.io.read_ios == numpy_result.io.read_ios
+                      and python_result.io.write_ios
+                      == numpy_result.io.write_ios),
+        kmax=numpy_result.kmax,
+    )
+
+    # Contract: bit-identical results ...
+    assert list(numpy_result.cores) == list(python_result.cores)
+    assert numpy_result.iterations == python_result.iterations
+    # ... and identical block I/O on the semi-external scan path.
+    assert numpy_result.io.read_ios == python_result.io.read_ios
+    assert numpy_result.io.write_ios == python_result.io.write_ios
+    # The vectorized scan path must beat the interpreter by a wide
+    # margin at full bench scale; reduced scales only need to not lose.
+    if algorithm == "semicore" and BENCH_SCALE >= 1.0:
+        assert speedup >= 5.0, "semicore speedup regressed: %.2fx" % speedup

@@ -1,11 +1,64 @@
-"""Setuptools shim.
+"""Packaging for the ICDE 2016 core-decomposition reproduction.
 
-The execution environment has no ``wheel`` package, so PEP 517/660 builds
-(which need ``bdist_wheel``) fail; this shim lets ``pip install -e .``
-fall back to the legacy ``setup.py develop`` path.  All metadata lives in
-``pyproject.toml``.
+Kept as a plain ``setup.py`` (no ``pyproject.toml``): the execution
+environment has no ``wheel`` package, so PEP 517/660 builds (which need
+``bdist_wheel``) fail, while ``pip install -e .`` falls back to the
+legacy ``setup.py develop`` path this file supports.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import find_packages, setup
+
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _version():
+    scope = {}
+    path = os.path.join(_HERE, "src", "repro", "_version.py")
+    with open(path, "r", encoding="ascii") as handle:
+        exec(handle.read(), scope)
+    return scope["__version__"]
+
+
+def _readme():
+    with open(os.path.join(_HERE, "README.md"), encoding="utf-8") as handle:
+        return handle.read()
+
+
+setup(
+    name="repro-core",
+    version=_version(),
+    description=(
+        "Semi-external k-core decomposition and maintenance at web scale "
+        "(reproduction of Wen et al., ICDE 2016)"
+    ),
+    long_description=_readme(),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    # The reference engine is pure stdlib; numpy powers the vectorized
+    # engine and the CSR snapshot layer.
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+            "networkx",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+            "repro-core=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+        "Operating System :: OS Independent",
+    ],
+)

@@ -2,7 +2,9 @@
 
 from repro.bench.harness import (
     DECOMPOSITION_ALGORITHMS,
+    compare_engines,
     decomposition_metrics,
+    engine_speedups,
     maintenance_trial,
     run_decomposition,
     sample_existing_edges,
@@ -20,6 +22,8 @@ from repro.bench.reporting import (
 
 __all__ = [
     "DECOMPOSITION_ALGORITHMS",
+    "compare_engines",
+    "engine_speedups",
     "run_decomposition",
     "maintenance_trial",
     "sample_existing_edges",

@@ -23,6 +23,7 @@ from repro.bench.reporting import (
     format_seconds,
     format_table,
 )
+from repro.core.engines import engine_names
 from repro.core.maintenance.maintainer import CoreMaintainer
 from repro.datasets.io import read_edge_list
 from repro.datasets.registry import dataset_names, load_dataset
@@ -75,9 +76,11 @@ def _cmd_stats(args):
 
 def _cmd_decompose(args):
     storage = GraphStorage.open(args.graph)
-    result = run_decomposition(args.algorithm, storage)
+    result = run_decomposition(args.algorithm, storage,
+                               engine=args.engine)
     rows = [
         ("algorithm", result.algorithm),
+        ("engine", result.engine),
         ("kmax", str(result.kmax)),
         ("iterations", str(result.iterations)),
         ("node computations", format_count(result.node_computations)),
@@ -215,6 +218,9 @@ def build_parser():
     p.add_argument("--algorithm", default="semicore*",
                    choices=["semicore", "semicore+", "semicore*",
                             "emcore", "imcore"])
+    p.add_argument("--engine", default=None, choices=engine_names(),
+                   help="execution engine for semicore/semicore*/imcore "
+                        "(default: the reference python engine)")
     p.add_argument("--output", help="write per-node core numbers here")
     p.set_defaults(func=_cmd_decompose)
 

@@ -2,6 +2,15 @@
 
 from repro.core.distributed import distributed_core
 from repro.core.emcore import em_core
+from repro.core.engines import (
+    DEFAULT_ENGINE,
+    ENGINE_AWARE_ALGORITHMS,
+    available_engines,
+    engine_implementation,
+    engine_names,
+    get_engine,
+    register_engine,
+)
 from repro.core.imcore import im_core
 from repro.core.kcore import (
     core_distribution,
@@ -32,6 +41,13 @@ from repro.core.semicore_plus import semi_core_plus
 from repro.core.semicore_star import converge_star, semi_core_star
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_AWARE_ALGORITHMS",
+    "available_engines",
+    "engine_names",
+    "engine_implementation",
+    "get_engine",
+    "register_engine",
     "im_core",
     "em_core",
     "distributed_core",

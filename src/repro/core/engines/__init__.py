@@ -1,0 +1,162 @@
+"""Pluggable engine registry for the decomposition algorithms.
+
+An *engine* is a set of interchangeable kernel implementations for the
+decomposition family, keyed by the harness algorithm names
+(``"semicore"``, ``"semicore*"``, ``"imcore"``).  The registry decouples
+the algorithm API (``semi_core(graph, engine=...)``) from how the
+per-node work is executed, so future backends (multiprocessing, GPU,
+distributed) plug in without touching the algorithm modules again.
+
+Two engines ship today:
+
+``python``
+    The reference pure-Python implementations -- the default, always
+    available, and the semantics every other engine must reproduce
+    bit-for-bit (core numbers, iteration counts, node computations,
+    per-iteration traces and block-I/O figures).
+
+``numpy``
+    Vectorized batch kernels over :class:`~repro.storage.csr.CSRGraph`
+    snapshots (:mod:`repro.core.engines.numpy_engine`).  Registered
+    lazily: the engine is listed but only importable when numpy is
+    installed; requesting it without numpy raises
+    :class:`~repro.errors.ReproError` with an actionable message.
+
+The contract an engine implementation must honour is documented in
+``docs/ARCHITECTURE.md`` and enforced by ``tests/test_engines.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+DEFAULT_ENGINE = "python"
+
+#: Harness algorithm names that accept an ``engine=`` argument.
+ENGINE_AWARE_ALGORITHMS = ("semicore", "semicore*", "imcore")
+
+
+class EngineSpec:
+    """A named engine: metadata plus a lazy implementation loader."""
+
+    def __init__(self, name, description, loader, requires=()):
+        self.name = name
+        self.description = description
+        self.requires = tuple(requires)
+        self._loader = loader
+        self._impls = None
+
+    def available(self):
+        """True when every soft dependency of the engine imports."""
+        for module in self.requires:
+            try:
+                __import__(module)
+            except ImportError:
+                return False
+        return True
+
+    def implementations(self):
+        """Load (once) and return ``{algorithm: callable}``."""
+        if self._impls is None:
+            try:
+                self._impls = dict(self._loader())
+            except ImportError as exc:
+                raise ReproError(
+                    "engine %r is registered but its dependencies are "
+                    "missing (%s); install them or use engine='python'"
+                    % (self.name, exc)
+                ) from exc
+        return self._impls
+
+    def __repr__(self):
+        return "EngineSpec(%r, available=%s)" % (self.name, self.available())
+
+
+_REGISTRY = {}
+
+
+def register_engine(name, description, loader, requires=()):
+    """Register (or replace) an engine under ``name``.
+
+    ``loader`` is a zero-argument callable returning the implementation
+    mapping; it runs on first use so engines with heavy dependencies cost
+    nothing until requested.
+    """
+    spec = EngineSpec(name.lower(), description, loader, requires)
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def engine_names():
+    """All registered engine names (available or not), sorted."""
+    return sorted(_REGISTRY)
+
+
+def available_engines():
+    """Names of engines whose dependencies import, sorted."""
+    return [name for name in engine_names() if _REGISTRY[name].available()]
+
+
+def get_engine(name):
+    """Look up an :class:`EngineSpec`; raises on unknown names."""
+    try:
+        return _REGISTRY[(name or DEFAULT_ENGINE).lower()]
+    except KeyError:
+        raise ReproError(
+            "unknown engine %r (registered: %s)"
+            % (name, ", ".join(engine_names()))
+        ) from None
+
+
+def engine_implementation(engine, algorithm):
+    """Resolve one algorithm kernel of one engine.
+
+    Raises :class:`ReproError` for unknown engines, engines with missing
+    dependencies, and algorithms the engine does not implement.
+    """
+    spec = get_engine(engine)
+    impls = spec.implementations()
+    try:
+        return impls[algorithm]
+    except KeyError:
+        raise ReproError(
+            "engine %r does not implement algorithm %r (supported: %s)"
+            % (spec.name, algorithm, ", ".join(sorted(impls)))
+        ) from None
+
+
+def _load_python():
+    from repro.core.imcore import im_core
+    from repro.core.semicore import semi_core
+    from repro.core.semicore_star import semi_core_star
+
+    return {
+        "semicore": semi_core,
+        "semicore*": semi_core_star,
+        "imcore": im_core,
+    }
+
+
+def _load_numpy():
+    from repro.core.engines import numpy_engine
+
+    return {
+        "semicore": numpy_engine.semi_core_numpy,
+        "semicore*": numpy_engine.semi_core_star_numpy,
+        "imcore": numpy_engine.im_core_numpy,
+    }
+
+
+register_engine(
+    "python",
+    "reference pure-Python kernels (always available; the semantics "
+    "other engines must match)",
+    _load_python,
+)
+
+register_engine(
+    "numpy",
+    "NumPy-vectorized batch kernels over CSR snapshots",
+    _load_numpy,
+    requires=("numpy",),
+)

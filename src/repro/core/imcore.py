@@ -84,13 +84,19 @@ def bin_sort_core(offsets, targets, n):
     return cores, computations
 
 
-def im_core(graph):
+def im_core(graph, *, engine=None):
     """Run Algorithm 1 on an in-memory or storage-backed graph.
 
     Storage-backed graphs are loaded with one sequential scan first (those
     read I/Os are part of the reported figure), mirroring how an in-memory
-    system would ingest the graph.
+    system would ingest the graph.  ``engine`` selects an execution engine
+    from :mod:`repro.core.engines` (default ``"python"``, the reference
+    bin-sort peeling below); every engine returns identical core numbers.
     """
+    if engine is not None and engine != "python":
+        from repro.core.engines import engine_implementation
+
+        return engine_implementation(engine, "imcore")(graph)
     started = time.perf_counter()
     snapshot = io_snapshot(graph)
     n = graph.num_nodes

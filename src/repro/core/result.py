@@ -29,6 +29,8 @@ class DecompositionResult:
     per_iteration_changes: Optional[List[int]] = None
     computed_per_iteration: Optional[List[List[int]]] = None
     cnt: Optional[Sequence[int]] = None
+    #: Which engine produced the result (see :mod:`repro.core.engines`).
+    engine: str = "python"
 
     @property
     def kmax(self):
@@ -42,10 +44,10 @@ class DecompositionResult:
     def summary(self):
         """One-line human-readable summary."""
         return (
-            "%s: kmax=%d iters=%d comps=%d reads=%d writes=%d "
+            "%s[%s]: kmax=%d iters=%d comps=%d reads=%d writes=%d "
             "mem=%dB time=%.3fs"
             % (
-                self.algorithm, self.kmax, self.iterations,
+                self.algorithm, self.engine, self.kmax, self.iterations,
                 self.node_computations, self.io.read_ios, self.io.write_ios,
                 self.model_memory_bytes, self.elapsed_seconds,
             )

@@ -18,7 +18,7 @@ from repro.errors import GraphError
 
 
 def semi_core(graph, *, initial_cores=None, trace_changes=False,
-              trace_computed=False, max_iterations=None):
+              trace_computed=False, max_iterations=None, engine=None):
     """Run Algorithm 3 against a storage-backed graph.
 
     Parameters
@@ -37,7 +37,19 @@ def semi_core(graph, *, initial_cores=None, trace_changes=False,
         paper-trace tests; only sensible on small graphs).
     max_iterations:
         Abort after this many passes (``None`` runs to convergence).
+    engine:
+        Execution engine from :mod:`repro.core.engines` (default
+        ``"python"``, the reference implementation below).  Every engine
+        returns bit-identical results; see ``docs/ARCHITECTURE.md``.
     """
+    if engine is not None and engine != "python":
+        from repro.core.engines import engine_implementation
+
+        return engine_implementation(engine, "semicore")(
+            graph, initial_cores=initial_cores,
+            trace_changes=trace_changes, trace_computed=trace_computed,
+            max_iterations=max_iterations,
+        )
     started = time.perf_counter()
     snapshot = io_snapshot(graph)
     n = graph.num_nodes

@@ -104,13 +104,22 @@ def converge_star(graph, core, cnt, candidates, *, trace_changes=False,
 
 
 def semi_core_star(graph, *, initial_cores=None, trace_changes=False,
-                   trace_computed=False):
+                   trace_computed=False, engine=None):
     """Run Algorithm 5 against a storage-backed graph.
 
     The result carries the converged ``cnt`` array alongside the cores;
     :class:`~repro.core.maintenance.CoreMaintainer` needs both to process
-    edge updates incrementally.
+    edge updates incrementally.  ``engine`` selects an execution engine
+    from :mod:`repro.core.engines` (default ``"python"``, the reference
+    implementation below); every engine returns bit-identical results.
     """
+    if engine is not None and engine != "python":
+        from repro.core.engines import engine_implementation
+
+        return engine_implementation(engine, "semicore*")(
+            graph, initial_cores=initial_cores,
+            trace_changes=trace_changes, trace_computed=trace_computed,
+        )
     started = time.perf_counter()
     snapshot = io_snapshot(graph)
     n = graph.num_nodes

@@ -10,12 +10,14 @@ from repro.storage.blockio import (
 from repro.storage.buffer import EdgeBuffer
 from repro.storage.builder import build_storage
 from repro.storage.cache import BufferPool, buffered_storage
+from repro.storage.csr import CSRGraph
 from repro.storage.dynamic import DynamicGraph
 from repro.storage.graphstore import GraphStorage
 from repro.storage.memgraph import MemoryGraph, normalize_edges
 from repro.storage.partition import PartitionStore
 
 __all__ = [
+    "CSRGraph",
     "DEFAULT_BLOCK_SIZE",
     "BlockDevice",
     "MemoryBlockDevice",

@@ -29,7 +29,11 @@ from repro.storage.memgraph import normalize_edges
 NODE_SUFFIX = ".nodes"
 EDGE_SUFFIX = ".edges"
 
-_DEFAULT_CHUNK_BYTES = 1 << 18
+#: Bytes per sequential-scan chunk (public: the CSR snapshot builder
+#: mirrors the scan's read plan and must use the same default).
+SCAN_CHUNK_BYTES = 1 << 18
+
+_DEFAULT_CHUNK_BYTES = SCAN_CHUNK_BYTES
 
 
 class GraphStorage:
@@ -166,6 +170,16 @@ class GraphStorage:
         """Block size of the backing devices."""
         return self._nodes.block_size
 
+    @property
+    def node_device(self):
+        """The node table's block device (read access for engines)."""
+        return self._nodes
+
+    @property
+    def edge_device(self):
+        """The edge table's block device (read access for engines)."""
+        return self._edges
+
     def node_entry(self, v):
         """Read ``(offset_entries, degree)`` for node ``v`` from disk."""
         self._check_node(v)
@@ -204,13 +218,18 @@ class GraphStorage:
             remaining -= batch
         return degrees
 
-    def iter_adjacency(self, start=0, stop=None,
-                       chunk_bytes=_DEFAULT_CHUNK_BYTES):
-        """Yield ``(v, neighbours)`` sequentially for ``v`` in [start, stop).
+    def iter_adjacency_chunks(self, start=0, stop=None,
+                              chunk_bytes=_DEFAULT_CHUNK_BYTES):
+        """Yield ``(first_node, degrees, edge_data)`` raw scan groups.
 
-        The scan reads both tables in large sequential chunks, so a full
-        pass costs ``ceil(table bytes / B)`` read I/Os -- the access pattern
-        SemiCore relies on.
+        This is the block-level substrate of :meth:`iter_adjacency`: the
+        node table is read in large sequential batches and consecutive
+        nodes whose adjacency fits in one ``chunk_bytes`` read are grouped
+        into a single edge-table read.  ``degrees`` is the per-node degree
+        list of the group and ``edge_data`` the group's concatenated
+        adjacency bytes.  Consumers that want the raw payload (e.g. the
+        CSR snapshot builder) use this directly and are guaranteed to
+        issue exactly the same device reads as :meth:`iter_adjacency`.
         """
         if stop is None:
             stop = self.num_nodes
@@ -248,17 +267,28 @@ class GraphStorage:
                     )
                 else:
                     edge_data = b""
-                view = memoryview(edge_data)
-                cursor = 0
-                for k in range(i, j):
-                    degree = entries[k][1]
-                    size = degree * layout.EDGE_ENTRY_SIZE
-                    nbrs = array(layout.EDGE_TYPECODE)
-                    nbrs.frombytes(view[cursor:cursor + size])
-                    yield v + k, nbrs
-                    cursor += size
+                yield v + i, [entries[k][1] for k in range(i, j)], edge_data
                 i = j
             v += batch
+
+    def iter_adjacency(self, start=0, stop=None,
+                       chunk_bytes=_DEFAULT_CHUNK_BYTES):
+        """Yield ``(v, neighbours)`` sequentially for ``v`` in [start, stop).
+
+        The scan reads both tables in large sequential chunks, so a full
+        pass costs ``ceil(table bytes / B)`` read I/Os -- the access pattern
+        SemiCore relies on.
+        """
+        for first, degrees, edge_data in self.iter_adjacency_chunks(
+                start, stop, chunk_bytes):
+            view = memoryview(edge_data)
+            cursor = 0
+            for k, degree in enumerate(degrees):
+                size = degree * layout.EDGE_ENTRY_SIZE
+                nbrs = array(layout.EDGE_TYPECODE)
+                nbrs.frombytes(view[cursor:cursor + size])
+                yield first + k, nbrs
+                cursor += size
 
     def edges(self):
         """Yield each undirected edge once as ``(u, v)`` with ``u < v``."""
@@ -266,6 +296,17 @@ class GraphStorage:
             for v in nbrs:
                 if u < v:
                     yield (u, int(v))
+
+    def drop_caches(self):
+        """Forget both devices' one-block read caches.
+
+        Back-to-back algorithm runs on the same storage otherwise start
+        with whatever block the previous run left cached, which skews
+        their I/O figures by a block or two; dropping the caches puts
+        every run in the same cold-start state.
+        """
+        self._nodes.drop_cache()
+        self._edges.drop_cache()
 
     def close(self):
         """Close both backing devices."""

@@ -58,6 +58,27 @@ class TestDecompose:
         cores = [int(line.split("\t")[1]) for line in lines]
         assert cores == [3, 3, 3, 3, 2, 2, 2, 2, 1]
 
+    @pytest.mark.parametrize("algorithm", ["semicore", "semicore*",
+                                           "imcore"])
+    def test_numpy_engine(self, converted_graph, tmp_path, capsys,
+                          algorithm):
+        pytest.importorskip("numpy")
+        out_file = tmp_path / "cores.txt"
+        assert main(["decompose", "--graph", converted_graph,
+                     "--algorithm", algorithm, "--engine", "numpy",
+                     "--output", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "numpy" in out
+        cores = [int(line.split("\t")[1])
+                 for line in out_file.read_text().splitlines()]
+        assert cores == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+
+    def test_engine_reported_for_reference_runs(self, converted_graph,
+                                                capsys):
+        assert main(["decompose", "--graph", converted_graph,
+                     "--algorithm", "semicore"]) == 0
+        assert "python" in capsys.readouterr().out
+
 
 class TestMaintain:
     def test_update_stream(self, converted_graph, tmp_path, capsys):

@@ -1,0 +1,149 @@
+"""Tests for the CSR adjacency snapshot (:mod:`repro.storage.csr`)."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.datasets import generators
+from repro.errors import ReproError
+from repro.storage.csr import CSRGraph
+from repro.storage.graphstore import GraphStorage
+from repro.storage.memgraph import MemoryGraph
+
+from tests.conftest import make_random_edges
+
+
+def storage_and_memory(edges, n, block_size=4096):
+    return (GraphStorage.from_edges(edges, n, block_size=block_size),
+            MemoryGraph.from_edges(edges, n))
+
+
+class TestStructure:
+    def test_paper_graph_rows_match_neighbors(self, paper_storage):
+        csr = CSRGraph.from_graph(paper_storage)
+        assert csr.num_nodes == 9
+        assert csr.num_edges == paper_storage.num_edges
+        for v in range(9):
+            assert list(csr.neighbors(v)) == \
+                list(paper_storage.neighbors(v))
+
+    def test_degrees(self, paper_storage):
+        csr = CSRGraph.from_graph(paper_storage)
+        assert list(csr.degrees()) == list(paper_storage.read_degrees())
+
+    def test_memory_graph_source(self, paper_graph):
+        edges, n = paper_graph
+        graph = MemoryGraph.from_edges(edges, n)
+        csr = CSRGraph.from_graph(graph)
+        for v in range(n):
+            assert list(csr.neighbors(v)) == graph.neighbors(v)
+
+    def test_storage_and_memory_agree(self, rng):
+        for _ in range(10):
+            n = rng.randint(1, 60)
+            edges = make_random_edges(rng, n, 0.2)
+            storage, memory = storage_and_memory(edges, n)
+            a = CSRGraph.from_graph(storage)
+            b = CSRGraph.from_graph(memory)
+            assert np.array_equal(a.indptr, b.indptr)
+            assert np.array_equal(a.indices, b.indices)
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_graph(GraphStorage.from_edges([], 0))
+        assert csr.num_nodes == 0
+        assert csr.num_arcs == 0
+
+    def test_isolated_nodes(self):
+        csr = CSRGraph.from_graph(GraphStorage.from_edges([(0, 4)], 6))
+        assert list(csr.degrees()) == [1, 0, 0, 0, 1, 0]
+        assert list(csr.neighbors(2)) == []
+
+    def test_out_of_range_row_rejected(self, paper_storage):
+        csr = CSRGraph.from_graph(paper_storage)
+        with pytest.raises(ReproError):
+            csr.neighbors(9)
+
+    def test_inconsistent_arrays_rejected(self):
+        with pytest.raises(ReproError):
+            CSRGraph(np.array([0, 3]), np.array([1], dtype=np.uint32))
+
+    def test_from_rows_partial_snapshot(self, paper_storage):
+        csr = CSRGraph.from_rows([0, 3, 8], paper_storage.num_nodes,
+                                 paper_storage.neighbors)
+        assert list(csr.neighbors(3)) == list(paper_storage.neighbors(3))
+        assert list(csr.neighbors(1)) == []  # row not snapshotted
+
+    def test_model_memory_counts_arrays(self, paper_storage):
+        csr = CSRGraph.from_graph(paper_storage)
+        assert csr.model_memory_bytes() == \
+            8 * (csr.num_nodes + 1) + 4 * csr.num_arcs
+
+
+class TestIOAccounting:
+    """The snapshot must charge exactly one sequential scan."""
+
+    @pytest.mark.parametrize("block_size", [64, 512, 4096])
+    @pytest.mark.parametrize("chunk_bytes", [32, 128, 1 << 18])
+    def test_build_costs_exactly_one_scan(self, rng, block_size,
+                                          chunk_bytes):
+        for _ in range(3):
+            n = rng.randint(1, 60)
+            edges = make_random_edges(rng, n, 0.15)
+            reference = GraphStorage.from_edges(edges, n,
+                                                block_size=block_size)
+            reference.io_stats.reset()
+            list(reference.iter_adjacency(chunk_bytes=chunk_bytes))
+            build = GraphStorage.from_edges(edges, n,
+                                            block_size=block_size)
+            build.io_stats.reset()
+            CSRGraph.from_storage(build, chunk_bytes=chunk_bytes)
+            assert build.io_stats == reference.io_stats
+
+    def test_oversized_adjacency_grouping(self):
+        """A star hub larger than the chunk must group like the scan."""
+        edges, n = generators.star_graph(400)
+        reference = GraphStorage.from_edges(edges, n, block_size=64)
+        reference.io_stats.reset()
+        rows = list(reference.iter_adjacency(chunk_bytes=64))
+        build = GraphStorage.from_edges(edges, n, block_size=64)
+        build.io_stats.reset()
+        csr = CSRGraph.from_storage(build, chunk_bytes=64)
+        assert build.io_stats == reference.io_stats
+        assert [list(csr.neighbors(v)) for v in range(n)] == \
+            [list(nbrs) for _, nbrs in rows]
+
+    def test_default_chunk_matches_scan_default(self, paper_graph):
+        edges, n = paper_graph
+        reference = GraphStorage.from_edges(edges, n, block_size=64)
+        reference.io_stats.reset()
+        list(reference.iter_adjacency())
+        build = GraphStorage.from_edges(edges, n, block_size=64)
+        build.io_stats.reset()
+        CSRGraph.from_storage(build)
+        assert build.io_stats == reference.io_stats
+
+    def test_memory_graph_charges_nothing(self, paper_graph):
+        edges, n = paper_graph
+        graph = MemoryGraph.from_edges(edges, n)
+        CSRGraph.from_graph(graph)  # no io_stats to charge; must not fail
+
+
+class TestChunkScanRefactor:
+    """iter_adjacency_chunks is the substrate iter_adjacency rides on."""
+
+    def test_chunks_cover_every_node_in_order(self, paper_storage):
+        seen = []
+        for first, degrees, edge_data in \
+                paper_storage.iter_adjacency_chunks():
+            assert len(edge_data) == 4 * sum(degrees)
+            seen.extend(range(first, first + len(degrees)))
+        assert seen == list(range(paper_storage.num_nodes))
+
+    def test_degrees_match_node_table(self, rng):
+        n = 40
+        edges = make_random_edges(rng, n, 0.2)
+        storage = GraphStorage.from_edges(edges, n)
+        degrees = []
+        for _, group_degrees, _ in storage.iter_adjacency_chunks():
+            degrees.extend(group_degrees)
+        assert degrees == list(storage.read_degrees())
