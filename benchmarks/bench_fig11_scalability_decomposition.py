@@ -2,15 +2,19 @@
 
 Section VI-C protocol on the Twitter and UK proxies: node sampling keeps
 the induced subgraph, edge sampling keeps incident nodes.  The three
-semi-external algorithms run per sample; the paper's headline shapes are
-asserted -- everything grows with graph size, SemiCore* wins everywhere,
-and the SemiCore / SemiCore* gap widens with |E| on the web graph.
+semi-external algorithms run per sample -- under every available
+execution engine, mirroring the Fig. 9 treatment, so the scalability
+curves can be compared engine against engine.  The paper's headline
+shapes are asserted on the reference engine: everything grows with graph
+size, SemiCore* wins everywhere, and the SemiCore / SemiCore* gap widens
+with |E| on the web graph.
 """
 
 import pytest
 
 from repro.bench.harness import run_decomposition
 from repro.bench.reporting import format_count, format_seconds
+from repro.core.engines import available_engines
 from repro.datasets.registry import generate_dataset
 from repro.datasets.sampling import sample_edges, sample_nodes
 from repro.storage.graphstore import GraphStorage
@@ -20,6 +24,7 @@ from benchmarks.conftest import BENCH_SCALE, once
 DATASETS = ["twitter", "uk"]
 FRACTIONS = [0.2, 0.4, 0.6, 0.8, 1.0]
 ALGORITHMS = ["semicore", "semicore+", "semicore*"]
+ENGINES = available_engines()
 _TIMINGS = {}
 
 
@@ -35,15 +40,19 @@ def _sampled_storage(name, mode, fraction):
 @pytest.mark.parametrize("dataset", DATASETS)
 @pytest.mark.parametrize("mode", ["nodes", "edges"])
 @pytest.mark.parametrize("fraction", FRACTIONS)
-def test_fig11_scalability(benchmark, results, dataset, mode, fraction):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fig11_scalability(benchmark, results, dataset, mode, fraction,
+                           engine):
     storage = _sampled_storage(dataset, mode, fraction)
     outcome = {}
 
     def run():
-        outcome["rows"] = {
-            algorithm: run_decomposition(algorithm, storage)
-            for algorithm in ALGORITHMS
-        }
+        rows = {}
+        for algorithm in ALGORITHMS:
+            storage.drop_caches()
+            rows[algorithm] = run_decomposition(algorithm, storage,
+                                                engine=engine)
+        outcome["rows"] = rows
 
     once(benchmark, run)
     for algorithm, result in outcome["rows"].items():
@@ -53,10 +62,15 @@ def test_fig11_scalability(benchmark, results, dataset, mode, fraction):
             dataset=dataset,
             fraction="%d%%" % int(fraction * 100),
             algorithm=result.algorithm,
+            engine=result.engine,
             time=format_seconds(result.elapsed_seconds),
             read_ios=format_count(result.io.read_ios),
+            _seconds=result.elapsed_seconds,
+            _read_ios=result.io.read_ios,
+            _write_ios=result.io.write_ios,
+            _node_computations=result.node_computations,
         )
-        _TIMINGS[(dataset, mode, fraction, algorithm)] = (
+        _TIMINGS[(dataset, mode, fraction, algorithm, engine)] = (
             result.elapsed_seconds, result.io.read_ios)
 
     star = outcome["rows"]["semicore*"]
@@ -73,9 +87,12 @@ def test_fig11_shapes(benchmark, results):
         pytest.skip("scalability cells did not run")
     for dataset in DATASETS:
         for mode in ("nodes", "edges"):
-            star_small = _TIMINGS.get((dataset, mode, 0.2, "semicore*"))
-            star_full = _TIMINGS.get((dataset, mode, 1.0, "semicore*"))
-            base_full = _TIMINGS.get((dataset, mode, 1.0, "semicore"))
+            star_small = _TIMINGS.get(
+                (dataset, mode, 0.2, "semicore*", "python"))
+            star_full = _TIMINGS.get(
+                (dataset, mode, 1.0, "semicore*", "python"))
+            base_full = _TIMINGS.get(
+                (dataset, mode, 1.0, "semicore", "python"))
             if None in (star_small, star_full, base_full):
                 continue
             # Work grows with the sample (I/O is deterministic; time is
@@ -84,3 +101,19 @@ def test_fig11_shapes(benchmark, results):
             assert star_full[0] >= star_small[0] * 0.3
             # SemiCore* wins at full size on the paper's I/O metric.
             assert star_full[1] < base_full[1]
+
+
+def test_fig11_engines_agree_on_io(benchmark, results):
+    """Every engine reports the same I/O figure for the same cell."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(ENGINES) < 2 or not _TIMINGS:
+        pytest.skip("needs two engines and recorded cells")
+    for (dataset, mode, fraction, algorithm, engine), figures \
+            in _TIMINGS.items():
+        if engine == "python":
+            continue
+        reference = _TIMINGS.get(
+            (dataset, mode, fraction, algorithm, "python"))
+        if reference is not None:
+            assert figures[1] == reference[1], \
+                (dataset, mode, fraction, algorithm, engine)

@@ -50,6 +50,9 @@ def test_fig3_changed_nodes_per_iteration(benchmark, results, name):
                         iteration - 1],
                     total_iterations=result.iterations,
                     seconds="%.3f" % result.elapsed_seconds,
+                    _seconds=result.elapsed_seconds,
+                    _read_ios=result.io.read_ios,
+                    _write_ios=result.io.write_ios,
                 )
 
     # Engines must agree series-for-series and block-for-block.

@@ -66,6 +66,11 @@ def _run_cell(benchmark, results, figure, dataset, algorithm, engine):
         write_ios=format_count(result.io.write_ios),
         iterations=result.iterations,
         kmax=result.kmax,
+        _seconds=result.elapsed_seconds,
+        _read_ios=result.io.read_ios,
+        _write_ios=result.io.write_ios,
+        _memory_bytes=result.model_memory_bytes,
+        _node_computations=result.node_computations,
     )
     return result
 

@@ -1,0 +1,141 @@
+"""Export the benchmark results as a machine-readable perf trajectory.
+
+The figure benchmarks save their tables as ``benchmarks/results/*.json``
+with human-formatted cells plus raw numeric fields under ``_``-prefixed
+keys (see ``ResultsSink`` in ``benchmarks/conftest.py``).  This module
+flattens those files into one standardized ``BENCH_RESULTS.json`` so the
+performance trajectory of the repository is comparable across PRs and
+machines without parsing formatted strings::
+
+    {
+      "schema": 1,
+      "scale": 1.0,
+      "records": [
+        {"figure": "...", "dataset": "...", "algorithm": "...",
+         "engine": "...", "scale": 1.0,
+         "metrics": {"seconds": 1.23, "read_ios": 456, ...}},
+        ...
+      ]
+    }
+
+Run it directly (``python benchmarks/collect_results.py``) or let a
+benchmark session regenerate the file automatically at teardown.  CI
+uploads the file as a workflow artifact.
+
+The trajectory is a snapshot of *everything currently parseable under
+the results directory*: figure files left by earlier sessions (possibly
+at other scales) are included, each record carrying its own ``scale``,
+and the top-level ``scale`` becomes a sorted list when sessions mixed
+scales.  For a single-run artifact (what CI publishes) start from a
+clean results directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+#: Bump when the record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Row keys copied verbatim into each record when present.
+LABEL_KEYS = ("dataset", "algorithm", "engine", "fraction", "mode")
+
+DEFAULT_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+DEFAULT_OUTPUT = os.path.join(DEFAULT_RESULTS_DIR, "BENCH_RESULTS.json")
+
+
+def _record_from_row(figure, scale, row):
+    """One standardized record, or None for rows without raw metrics."""
+    metrics = {key[1:]: value for key, value in row.items()
+               if key.startswith("_")}
+    if not metrics:
+        return None
+    record = {"figure": figure, "scale": scale}
+    for key in LABEL_KEYS:
+        if key in row:
+            record[key] = row[key]
+    record["metrics"] = metrics
+    return record
+
+
+def collect(results_dir=DEFAULT_RESULTS_DIR):
+    """Flatten every per-figure JSON under ``results_dir`` into records.
+
+    Returns ``(records, skipped)`` where ``skipped`` counts rows without
+    raw metrics (e.g. files written by older benchmark revisions).
+    """
+    records = []
+    skipped = 0
+    for path in sorted(glob.glob(os.path.join(results_dir, "*.json"))):
+        if os.path.basename(path) == "BENCH_RESULTS.json":
+            continue
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                payload = json.load(handle)
+        except (ValueError, UnicodeDecodeError):
+            # Stale or truncated artifact from an interrupted run; the
+            # trajectory only reports what parses.
+            skipped += 1
+            continue
+        figure = payload.get("figure")
+        scale = payload.get("scale")
+        for row in payload.get("rows", []):
+            record = _record_from_row(figure, scale, row)
+            if record is None:
+                skipped += 1
+            else:
+                records.append(record)
+    return records, skipped
+
+
+def write_trajectory(results_dir=DEFAULT_RESULTS_DIR, output=None):
+    """Write ``BENCH_RESULTS.json`` next to the per-figure files.
+
+    Returns the path written, or None when there is nothing to export.
+    """
+    records, skipped = collect(results_dir)
+    if not records and not os.path.isdir(results_dir):
+        return None
+    if output is None:
+        output = os.path.join(results_dir, "BENCH_RESULTS.json")
+    scales = sorted({record["scale"] for record in records
+                     if record.get("scale") is not None})
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "scale": scales[0] if len(scales) == 1 else scales,
+        "records": records,
+        "skipped_rows": skipped,
+    }
+    os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
+    with open(output, "w", encoding="ascii") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return output
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="flatten benchmarks/results/*.json into a "
+                    "machine-readable BENCH_RESULTS.json")
+    parser.add_argument("--results", default=DEFAULT_RESULTS_DIR,
+                        help="directory of per-figure result JSONs")
+    parser.add_argument("--output", default=None,
+                        help="output path (default: "
+                             "<results>/BENCH_RESULTS.json)")
+    args = parser.parse_args(argv)
+    path = write_trajectory(args.results, args.output)
+    if path is None:
+        print("no results under %s" % args.results, file=sys.stderr)
+        return 1
+    records, skipped = collect(args.results)
+    print("wrote %s (%d records, %d rows without raw metrics)"
+          % (path, len(records), skipped))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,13 @@ def load_bench_dataset(name, scale_mult=1.0):
 
 
 class ResultsSink:
-    """Accumulates rows per figure; prints and saves them at teardown."""
+    """Accumulates rows per figure; prints and saves them at teardown.
+
+    Row keys starting with ``_`` are *raw metrics*: they are kept out of
+    the printed tables but saved verbatim in the per-figure JSONs, where
+    ``benchmarks/collect_results.py`` picks them up to build the
+    machine-readable ``BENCH_RESULTS.json`` perf trajectory.
+    """
 
     def __init__(self):
         self._figures = {}
@@ -47,12 +53,14 @@ class ResultsSink:
         pytest captures teardown prints unless ``-s`` is given, so the
         tables are also written to ``results/summary.txt`` -- that file
         plus the per-figure JSONs are the run's durable artifacts
-        (``repro-core report`` re-renders the JSONs at any time).
+        (``repro-core report`` re-renders the JSONs at any time).  A
+        fresh ``BENCH_RESULTS.json`` is regenerated alongside them after
+        every run.
         """
         os.makedirs(RESULTS_DIR, exist_ok=True)
         tables = []
         for figure, rows in sorted(self._figures.items()):
-            headers = list(rows[0].keys())
+            headers = [key for key in rows[0] if not key.startswith("_")]
             table = format_table(
                 headers,
                 [[row.get(h, "") for h in headers] for row in rows],
@@ -68,6 +76,9 @@ class ResultsSink:
             summary_path = os.path.join(RESULTS_DIR, "summary.txt")
             with open(summary_path, "a", encoding="ascii") as handle:
                 handle.write("\n\n".join(tables) + "\n")
+            from benchmarks.collect_results import write_trajectory
+
+            write_trajectory(RESULTS_DIR)
 
 
 @pytest.fixture(scope="session")

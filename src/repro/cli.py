@@ -101,7 +101,7 @@ def _cmd_decompose(args):
 
 def _cmd_maintain(args):
     storage = GraphStorage.open(args.graph, writable=False)
-    maintainer = CoreMaintainer.from_storage(storage)
+    maintainer = CoreMaintainer.from_storage(storage, engine=args.engine)
     applied = 0
     with open(args.operations, "r", encoding="ascii") as handle:
         for lineno, line in enumerate(handle, 1):
@@ -219,7 +219,7 @@ def build_parser():
                    choices=["semicore", "semicore+", "semicore*",
                             "emcore", "imcore"])
     p.add_argument("--engine", default=None, choices=engine_names(),
-                   help="execution engine for semicore/semicore*/imcore "
+                   help="execution engine for any decomposition algorithm "
                         "(default: the reference python engine)")
     p.add_argument("--output", help="write per-node core numbers here")
     p.set_defaults(func=_cmd_decompose)
@@ -230,6 +230,9 @@ def build_parser():
                    help="file of '+ u v' / '- u v' lines")
     p.add_argument("--algorithm", default="star",
                    choices=["star", "two-phase"])
+    p.add_argument("--engine", default=None, choices=engine_names(),
+                   help="execution engine for the maintenance kernels "
+                        "(default: the reference python engine)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_maintain)
 

@@ -26,8 +26,7 @@ from array import array
 from repro.core.result import DecompositionResult, io_delta, io_snapshot
 from repro.errors import GraphError
 from repro.storage.partition import PartitionStore
-
-_RECORD_OVERHEAD = 2  # node id + degree, in u32 words
+from repro.storage.partition_codec import RECORD_OVERHEAD as _RECORD_OVERHEAD
 
 
 def _peel_with_support(local_adj, support):
@@ -76,7 +75,7 @@ def _partition_upper_bounds(records, deposit):
 
 
 def em_core(storage, *, memory_budget_bytes=None, partition_arcs=None,
-            merge_partitions=True):
+            merge_partitions=True, engine=None):
     """Run EMCore against a storage-backed graph.
 
     Parameters
@@ -92,7 +91,20 @@ def em_core(storage, *, memory_budget_bytes=None, partition_arcs=None,
     merge_partitions:
         Re-merge shrunken partitions during write-back (Algorithm 2,
         line 13).
+    engine:
+        Execution engine from :mod:`repro.core.engines` (default
+        ``"python"``, the reference implementation below).  Every engine
+        returns bit-identical results, including the write I/Os of the
+        partition store; see ``docs/ARCHITECTURE.md``.
     """
+    if engine is not None and engine != "python":
+        from repro.core.engines import engine_implementation
+
+        return engine_implementation(engine, "emcore")(
+            storage, memory_budget_bytes=memory_budget_bytes,
+            partition_arcs=partition_arcs,
+            merge_partitions=merge_partitions,
+        )
     started = time.perf_counter()
     snapshot = io_snapshot(storage)
     n = storage.num_nodes
@@ -140,7 +152,9 @@ def em_core(storage, *, memory_budget_bytes=None, partition_arcs=None,
             continue
         if pending_arcs and pending_arcs + len(nbrs) > partition_arcs:
             flush_partition()
-        pending.append((v, list(nbrs)))
+        # The scan yields fresh adjacency arrays; keeping them avoids the
+        # per-edge Python list rebuild the partition writer used to do.
+        pending.append((v, nbrs))
         pending_arcs += len(nbrs)
     flush_partition()
 

@@ -1,9 +1,11 @@
-"""Pluggable engine registry for the decomposition algorithms.
+"""Pluggable engine registry for the full algorithm surface.
 
-An *engine* is a set of interchangeable kernel implementations for the
-decomposition family, keyed by the harness algorithm names
-(``"semicore"``, ``"semicore*"``, ``"imcore"``).  The registry decouples
-the algorithm API (``semi_core(graph, engine=...)``) from how the
+An *engine* is a set of interchangeable kernel implementations keyed by
+algorithm name: the decomposition family (``"semicore"``,
+``"semicore+"``, ``"semicore*"``, ``"emcore"``, ``"imcore"``) plus the
+maintenance operations (``"insert"``, ``"insert*"``, ``"delete*"``).
+The registry decouples the algorithm API (``semi_core(graph,
+engine=...)``, ``CoreMaintainer(..., engine=...)``) from how the
 per-node work is executed, so future backends (multiprocessing, GPU,
 distributed) plug in without touching the algorithm modules again.
 
@@ -32,8 +34,14 @@ from repro.errors import ReproError
 
 DEFAULT_ENGINE = "python"
 
-#: Harness algorithm names that accept an ``engine=`` argument.
-ENGINE_AWARE_ALGORITHMS = ("semicore", "semicore*", "imcore")
+#: Decomposition algorithm names that accept an ``engine=`` argument.
+ENGINE_AWARE_ALGORITHMS = ("semicore", "semicore+", "semicore*", "emcore",
+                           "imcore")
+
+#: Maintenance operation names resolvable through the registry
+#: (routed via the maintenance functions' ``engine=`` argument and
+#: :class:`~repro.core.maintenance.maintainer.CoreMaintainer`).
+ENGINE_AWARE_MAINTENANCE = ("insert", "insert*", "delete*")
 
 
 class EngineSpec:
@@ -126,24 +134,43 @@ def engine_implementation(engine, algorithm):
 
 
 def _load_python():
+    from repro.core.emcore import em_core
     from repro.core.imcore import im_core
+    from repro.core.maintenance.delete_star import semi_delete_star
+    from repro.core.maintenance.insert import semi_insert
+    from repro.core.maintenance.insert_star import semi_insert_star
     from repro.core.semicore import semi_core
+    from repro.core.semicore_plus import semi_core_plus
     from repro.core.semicore_star import semi_core_star
 
     return {
         "semicore": semi_core,
+        "semicore+": semi_core_plus,
         "semicore*": semi_core_star,
+        "emcore": em_core,
         "imcore": im_core,
+        "insert": semi_insert,
+        "insert*": semi_insert_star,
+        "delete*": semi_delete_star,
     }
 
 
 def _load_numpy():
-    from repro.core.engines import numpy_engine
+    from repro.core.engines import (
+        numpy_emcore,
+        numpy_engine,
+        numpy_maintenance,
+    )
 
     return {
         "semicore": numpy_engine.semi_core_numpy,
+        "semicore+": numpy_engine.semi_core_plus_numpy,
         "semicore*": numpy_engine.semi_core_star_numpy,
+        "emcore": numpy_emcore.em_core_numpy,
         "imcore": numpy_engine.im_core_numpy,
+        "insert": numpy_maintenance.semi_insert_numpy,
+        "insert*": numpy_maintenance.semi_insert_star_numpy,
+        "delete*": numpy_maintenance.semi_delete_star_numpy,
     }
 
 

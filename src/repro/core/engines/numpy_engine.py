@@ -56,7 +56,8 @@ from repro.core.result import DecompositionResult, io_delta, io_snapshot
 from repro.errors import GraphError
 from repro.storage.csr import CSRGraph
 
-__all__ = ["semi_core_numpy", "semi_core_star_numpy", "im_core_numpy"]
+__all__ = ["semi_core_numpy", "semi_core_plus_numpy",
+           "semi_core_star_numpy", "im_core_numpy"]
 
 
 # ----------------------------------------------------------------------
@@ -197,6 +198,69 @@ def _sequential_pass(csr, core, cnt=None):
     return x
 
 
+def _plus_pass(csr, core, scheduled):
+    """Exact result of one SemiCore+ pass, vectorized.
+
+    A SemiCore+ pass is the same ascending Gauss-Seidel sweep as a
+    SemiCore pass, restricted to a *window* that grows while the pass
+    runs: the scheduled nodes are recomputed, and whenever one of them
+    drops, its larger-id neighbours join the window of the same pass
+    (they are popped later, so ascending order is preserved) while its
+    smaller-id neighbours wait for the next pass.  The processed set is
+    therefore the least closure of ``scheduled`` under "a changed node
+    recruits its larger neighbours", and the post-pass values solve the
+    triangular system of :func:`_sequential_pass` restricted to that
+    closure.  Both are computed by one monotone fixpoint iteration:
+    values only decrease as the window grows, so changed sets only grow,
+    and the iteration lands on exactly the sequential pass's state.
+
+    Returns ``(new_values, processed_ids, changed_ids)`` without
+    mutating ``core``.
+    """
+    old = core
+    x = core.copy()
+    n = csr.num_nodes
+    window = np.zeros(n, dtype=bool)
+    window[scheduled] = True
+    mark = np.zeros(n, dtype=bool)
+    # Every scheduled node is recomputed (SemiCore+ counts them all),
+    # but only droppers move the state; a scheduled node drops iff it
+    # violates Theorem 4.1 against the pass-start values, so the cheap
+    # support count spares the rest the full h-index.
+    snbr, sowner, scounts, _ = _row_members(csr, scheduled)
+    ssupported = old[snbr] >= old[sowner]
+    slocal = np.repeat(np.arange(len(scheduled), dtype=np.int64), scounts)
+    ssupport = np.bincount(slocal[ssupported], minlength=len(scheduled))
+    active = scheduled[ssupport < old[scheduled]]
+    while active.size:
+        h = _local_core_batch(csr, active, x, old)
+        dropped = h < x[active]
+        changed = active[dropped]
+        if changed.size == 0:
+            break
+        x[changed] = h[dropped]
+        nbr, owner, _, _ = _row_members(csr, changed)
+        larger = nbr[nbr > owner]
+        if larger.size == 0:
+            break
+        # Every larger neighbour of a dropper joins this pass's window
+        # (and is therefore *processed*, whether or not it drops) ...
+        window[larger] = True
+        mark[larger] = True
+        candidates = np.flatnonzero(mark)
+        mark[candidates] = False
+        # ... but only true droppers need the h-index (see
+        # _sequential_pass for the support-count argument).
+        cnbr, cowner, counts, _ = _row_members(csr, candidates)
+        weighed = np.where(cnbr < cowner, x[cnbr], old[cnbr])
+        supported = weighed >= x[cowner]
+        local = np.repeat(np.arange(len(candidates), dtype=np.int64),
+                          counts)
+        support = np.bincount(local[supported], minlength=len(candidates))
+        active = candidates[support < x[candidates]]
+    return x, np.flatnonzero(window), np.flatnonzero(x != old)
+
+
 # ----------------------------------------------------------------------
 # shared helpers
 # ----------------------------------------------------------------------
@@ -229,11 +293,35 @@ def _replay_neighbor_reads(graph, nodes):
     identical ascending read sequence keeps the shared ``IOStats`` (and
     its one-block cache behaviour) bit-identical to the reference run.
     Graphs without I/O accounting skip the replay entirely.
+
+    Graphs that expose their block devices take a fast path issuing the
+    exact ``read_at`` calls of ``GraphStorage.neighbors`` (node entry,
+    then the adjacency span for non-empty rows) without materializing
+    the neighbour arrays the snapshot already holds.
     """
     if getattr(graph, "io_stats", None) is None:
         return
-    for v in nodes:
-        graph.neighbors(int(v))
+    nodes_dev = getattr(graph, "node_device", None)
+    edges_dev = getattr(graph, "edge_device", None)
+    if nodes_dev is None or edges_dev is None:
+        for v in nodes:
+            graph.neighbors(int(v))
+        return
+    from repro.storage import layout
+
+    read_node = nodes_dev.read_at
+    read_edge = edges_dev.read_at
+    unpack = layout.unpack_node_entry
+    entry_size = layout.NODE_ENTRY_SIZE
+    edge_size = layout.EDGE_ENTRY_SIZE
+    # tolist() keeps plain ints flowing into the device offsets (and
+    # from there into the shared IOStats counters).
+    for v in (nodes.tolist() if hasattr(nodes, "tolist") else nodes):
+        offset, degree = unpack(
+            read_node(layout.node_entry_position(v), entry_size))
+        if degree:
+            read_edge(layout.edge_entry_position(offset),
+                      degree * edge_size)
 
 
 # ----------------------------------------------------------------------
@@ -283,6 +371,66 @@ def semi_core_numpy(graph, *, initial_cores=None, trace_changes=False,
     model_memory = 8 * (n + 1) + 4 * max_arcs + 16 * n
     return DecompositionResult(
         algorithm="SemiCore",
+        cores=_as_core_array(core),
+        iterations=iterations,
+        node_computations=computations,
+        io=io_delta(graph, snapshot),
+        elapsed_seconds=elapsed,
+        model_memory_bytes=model_memory,
+        per_iteration_changes=changes,
+        computed_per_iteration=computed_log,
+        engine="numpy",
+    )
+
+
+def semi_core_plus_numpy(graph, *, initial_cores=None, trace_changes=False,
+                         trace_computed=False):
+    """Vectorized Algorithm 4 with reference-identical semantics.
+
+    Pass 1 schedules every node, so its snapshot is built with the
+    identical ascending per-node ``neighbors()`` reads the reference
+    issues; later passes replay the reads of their processed window
+    (scheduled nodes plus mid-pass recruits, always ascending).  The
+    next pass's schedule is the reference's ``upcoming`` list: the
+    smaller-id neighbours of the nodes that changed -- a set, because
+    the reference's ``active`` flags deduplicate, and no node scheduled
+    for the next pass can be recruited back into the current one (every
+    later dropper has a strictly larger id).
+    """
+    started = time.perf_counter()
+    snapshot = io_snapshot(graph)
+    n = graph.num_nodes
+    core = _initial_cores(graph, initial_cores)
+
+    changes = [] if trace_changes else None
+    computed_log = [] if trace_computed else None
+    iterations = 0
+    computations = 0
+    num_arcs = 0
+    csr = None
+    scheduled = np.arange(n, dtype=np.int64)
+    while scheduled.size:
+        iterations += 1
+        if csr is None:
+            csr = CSRGraph.from_rows(scheduled, n, graph.neighbors)
+            num_arcs = csr.num_arcs
+        new, processed, changed_ids = _plus_pass(csr, core, scheduled)
+        core = new
+        computations += int(processed.size)
+        if iterations > 1:
+            _replay_neighbor_reads(graph, processed)
+        if trace_changes:
+            changes.append(int(changed_ids.size))
+        if trace_computed:
+            computed_log.append([int(v) for v in processed])
+        nbr, owner, _, _ = _row_members(csr, changed_ids)
+        scheduled = np.unique(nbr[nbr < owner])
+
+    elapsed = time.perf_counter() - started
+    # The snapshot stays resident plus the old/new value vectors.
+    model_memory = 8 * (n + 1) + 4 * num_arcs + 16 * n
+    return DecompositionResult(
+        algorithm="SemiCore+",
         cores=_as_core_array(core),
         iterations=iterations,
         node_computations=computations,

@@ -29,11 +29,13 @@ INSERT_ALGORITHMS = ("star", "two-phase")
 class CoreMaintainer:
     """Incrementally maintained core decomposition of a dynamic graph."""
 
-    def __init__(self, graph, cores, cnt):
+    def __init__(self, graph, cores, cnt, *, engine=None):
         """Wrap ``graph`` with existing ``core``/``cnt`` arrays.
 
         Most callers should use :meth:`from_storage` or :meth:`from_graph`
-        which compute the arrays with SemiCore*.
+        which compute the arrays with SemiCore*.  ``engine`` selects the
+        execution engine (:mod:`repro.core.engines`) every update is
+        routed through; all engines apply identical state transitions.
         """
         if len(cores) != graph.num_nodes or len(cnt) != graph.num_nodes:
             raise GraphError(
@@ -41,6 +43,7 @@ class CoreMaintainer:
                 % (len(cores), len(cnt), graph.num_nodes)
             )
         self.graph = graph
+        self.engine = engine
         self._core = array("i", cores)
         self._cnt = array("i", cnt)
         self.history = []
@@ -48,17 +51,21 @@ class CoreMaintainer:
     # -- constructors -------------------------------------------------------
     @classmethod
     def from_storage(cls, storage, *, buffer_capacity=65536,
-                     path_factory=None):
+                     path_factory=None, engine=None):
         """Wrap on-disk storage: runs SemiCore* once to seed the state."""
         graph = DynamicGraph(storage, buffer_capacity=buffer_capacity,
                              path_factory=path_factory)
-        return cls.from_graph(graph)
+        return cls.from_graph(graph, engine=engine)
 
     @classmethod
-    def from_graph(cls, graph):
-        """Seed the maintainer from any graph with the read protocol."""
-        result = semi_core_star(graph)
-        return cls(graph, result.cores, result.cnt)
+    def from_graph(cls, graph, *, engine=None):
+        """Seed the maintainer from any graph with the read protocol.
+
+        The seeding SemiCore* run uses the same engine as the updates
+        (bit-identical arrays either way).
+        """
+        result = semi_core_star(graph, engine=engine)
+        return cls(graph, result.cores, result.cnt, engine=engine)
 
     # -- queries --------------------------------------------------------------
     @property
@@ -97,10 +104,12 @@ class CoreMaintainer:
         """
         if algorithm == "star":
             result = semi_insert_star(self.graph, self._core, self._cnt,
-                                      u, v, validate=validate)
+                                      u, v, validate=validate,
+                                      engine=self.engine)
         elif algorithm == "two-phase":
             result = semi_insert(self.graph, self._core, self._cnt,
-                                 u, v, validate=validate)
+                                 u, v, validate=validate,
+                                 engine=self.engine)
         else:
             raise ValueError(
                 "unknown insert algorithm %r (choose from %r)"
@@ -112,7 +121,8 @@ class CoreMaintainer:
     def delete_edge(self, u, v, *, validate=True):
         """Delete an edge and repair the decomposition incrementally."""
         result = semi_delete_star(self.graph, self._core, self._cnt,
-                                  u, v, validate=validate)
+                                  u, v, validate=validate,
+                                  engine=self.engine)
         self.history.append(result)
         return result
 

@@ -24,8 +24,20 @@ from repro.errors import GraphError
 
 
 def semi_core_plus(graph, *, initial_cores=None, trace_changes=False,
-                   trace_computed=False):
-    """Run Algorithm 4 against a storage-backed graph."""
+                   trace_computed=False, engine=None):
+    """Run Algorithm 4 against a storage-backed graph.
+
+    ``engine`` selects an execution engine from
+    :mod:`repro.core.engines` (default ``"python"``, the reference
+    implementation below); every engine returns bit-identical results.
+    """
+    if engine is not None and engine != "python":
+        from repro.core.engines import engine_implementation
+
+        return engine_implementation(engine, "semicore+")(
+            graph, initial_cores=initial_cores,
+            trace_changes=trace_changes, trace_computed=trace_computed,
+        )
     started = time.perf_counter()
     snapshot = io_snapshot(graph)
     n = graph.num_nodes

@@ -18,7 +18,6 @@ figure.
 from __future__ import annotations
 
 import os
-from array import array
 
 from repro.errors import StorageError
 from repro.storage.blockio import (
@@ -27,38 +26,14 @@ from repro.storage.blockio import (
     IOStats,
     MemoryBlockDevice,
 )
+from repro.storage.partition_codec import decode_records, encode_records
 
 _U32 = 4
 
-
-def _serialize(records):
-    """Serialize ``[(node, neighbours), ...]`` into partition bytes."""
-    payload = array("I", [len(records)])
-    for node, neighbours in records:
-        payload.append(node)
-        payload.append(len(neighbours))
-        payload.extend(neighbours)
-    return payload.tobytes()
-
-
-def _deserialize(data):
-    """Inverse of :func:`_serialize`."""
-    values = array("I")
-    values.frombytes(data)
-    if not len(values):
-        raise StorageError("empty partition payload")
-    count = values[0]
-    records = []
-    cursor = 1
-    for _ in range(count):
-        if cursor + 2 > len(values):
-            raise StorageError("truncated partition payload")
-        node = values[cursor]
-        degree = values[cursor + 1]
-        cursor += 2
-        records.append((node, values[cursor:cursor + degree]))
-        cursor += degree
-    return records
+# Backwards-compatible aliases: the codec is the single (de)serialization
+# code path shared by both execution engines.
+_serialize = encode_records
+_deserialize = decode_records
 
 
 class PartitionStore:
@@ -75,9 +50,12 @@ class PartitionStore:
 
     def write(self, records):
         """Store a new partition; returns ``(partition_id, byte_size)``."""
+        return self.write_bytes(encode_records(records))
+
+    def write_bytes(self, data):
+        """Store pre-serialized partition bytes (the numpy engine path)."""
         pid = self._counter
         self._counter += 1
-        data = _serialize(records)
         device = self._new_device(pid)
         device.write_at(0, data)
         self._devices[pid] = device
@@ -86,8 +64,11 @@ class PartitionStore:
 
     def rewrite(self, pid, records):
         """Replace partition ``pid`` in place; returns the new byte size."""
+        return self.rewrite_bytes(pid, encode_records(records))
+
+    def rewrite_bytes(self, pid, data):
+        """Replace partition ``pid`` with pre-serialized bytes."""
         self._check(pid)
-        data = _serialize(records)
         device = self._devices[pid]
         device.drop_cache()
         device.write_at(0, data)
@@ -96,9 +77,13 @@ class PartitionStore:
 
     def read(self, pid):
         """Load partition ``pid`` as ``[(node, neighbour array), ...]``."""
+        return decode_records(self.read_bytes(pid))
+
+    def read_bytes(self, pid):
+        """Raw serialized bytes of partition ``pid`` (charges the reads)."""
         self._check(pid)
         device = self._devices[pid]
-        return _deserialize(device.read_at(0, self._sizes[pid]))
+        return device.read_at(0, self._sizes[pid])
 
     def size_bytes(self, pid):
         """Serialized size of partition ``pid`` in bytes."""

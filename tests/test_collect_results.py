@@ -1,0 +1,126 @@
+"""Tests for the BENCH_RESULTS.json perf-trajectory exporter."""
+
+import json
+import os
+
+from benchmarks.collect_results import (
+    SCHEMA_VERSION,
+    collect,
+    main,
+    write_trajectory,
+)
+
+
+def write_figure(directory, name, figure, scale, rows):
+    payload = {"figure": figure, "scale": scale, "rows": rows}
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def sample_results_dir(tmp_path):
+    directory = str(tmp_path / "results")
+    os.makedirs(directory)
+    write_figure(directory, "fig9.json", "Fig 9", 1.0, [
+        {"dataset": "dblp", "algorithm": "SemiCore", "engine": "python",
+         "time": "1.00s", "_seconds": 1.0, "_read_ios": 100,
+         "_write_ios": 0},
+        {"dataset": "dblp", "algorithm": "SemiCore", "engine": "numpy",
+         "time": "0.20s", "_seconds": 0.2, "_read_ios": 100,
+         "_write_ios": 0},
+    ])
+    write_figure(directory, "fig10.json", "Fig 10", 1.0, [
+        {"dataset": "uk", "algorithm": "SemiInsert*", "engine": "numpy",
+         "_seconds": 0.001, "_read_ios": 3.5},
+        # Row without raw metrics (older benchmark revision): skipped.
+        {"dataset": "uk", "algorithm": "IMInsert", "avg_time": "1.00us"},
+    ])
+    return directory
+
+
+class TestCollect:
+    def test_collects_raw_metric_rows(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        records, skipped = collect(directory)
+        assert len(records) == 3
+        assert skipped == 1
+        fig9 = [r for r in records if r["figure"] == "Fig 9"]
+        assert [r["engine"] for r in fig9] == ["python", "numpy"]
+        first = fig9[0]
+        assert first["dataset"] == "dblp"
+        assert first["scale"] == 1.0
+        assert first["metrics"] == {"seconds": 1.0, "read_ios": 100,
+                                    "write_ios": 0}
+
+    def test_empty_directory(self, tmp_path):
+        directory = str(tmp_path / "empty")
+        os.makedirs(directory)
+        assert collect(directory) == ([], 0)
+
+    def test_corrupt_file_skipped(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        with open(os.path.join(directory, "broken.json"), "w",
+                  encoding="ascii") as handle:
+            handle.write('{"figure": "truncated", "rows": [{"_x":')
+        records, skipped = collect(directory)
+        assert len(records) == 3
+        assert skipped == 2
+
+
+class TestWriteTrajectory:
+    def test_writes_schema_and_records(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        path = write_trajectory(directory)
+        assert path == os.path.join(directory, "BENCH_RESULTS.json")
+        with open(path, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["scale"] == 1.0
+        assert payload["skipped_rows"] == 1
+        engines = {(r["algorithm"], r.get("engine"))
+                   for r in payload["records"]}
+        assert ("SemiCore", "numpy") in engines
+        assert ("SemiInsert*", "numpy") in engines
+
+    def test_output_excluded_from_collection(self, tmp_path):
+        """Re-running the exporter must not ingest its own output."""
+        directory = sample_results_dir(tmp_path)
+        write_trajectory(directory)
+        records_before, _ = collect(directory)
+        write_trajectory(directory)
+        records_after, _ = collect(directory)
+        assert records_after == records_before
+
+    def test_missing_directory_returns_none(self, tmp_path):
+        assert write_trajectory(str(tmp_path / "nope")) is None
+
+    def test_custom_output_path(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        target = str(tmp_path / "out" / "BENCH_RESULTS.json")
+        assert write_trajectory(directory, target) == target
+        assert os.path.exists(target)
+
+    def test_mixed_scales_reported_as_list(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        write_figure(directory, "other.json", "Fig X", 0.5, [
+            {"dataset": "uk", "algorithm": "IMCore", "_seconds": 0.1},
+        ])
+        path = write_trajectory(directory)
+        with open(path, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+        assert payload["scale"] == [0.5, 1.0]
+
+
+class TestCLI:
+    def test_main_writes_and_reports(self, tmp_path, capsys):
+        directory = sample_results_dir(tmp_path)
+        assert main(["--results", directory]) == 0
+        out = capsys.readouterr().out
+        assert "3 records" in out
+        assert os.path.exists(os.path.join(directory,
+                                           "BENCH_RESULTS.json"))
+
+    def test_main_missing_directory(self, tmp_path, capsys):
+        assert main(["--results", str(tmp_path / "nope")]) == 1
+        assert "no results" in capsys.readouterr().err

@@ -14,16 +14,19 @@ from hypothesis import given, settings
 from repro.core.engines import (
     DEFAULT_ENGINE,
     ENGINE_AWARE_ALGORITHMS,
+    ENGINE_AWARE_MAINTENANCE,
     available_engines,
     engine_implementation,
     engine_names,
     get_engine,
     register_engine,
 )
-from repro.bench.harness import compare_engines, engine_speedups, \
-    run_decomposition
+from repro.bench.harness import DECOMPOSITION_ALGORITHMS, compare_engines, \
+    engine_speedups, run_decomposition
+from repro.core.emcore import em_core
 from repro.core.imcore import im_core
 from repro.core.semicore import semi_core
+from repro.core.semicore_plus import semi_core_plus
 from repro.core.semicore_star import semi_core_star
 from repro.datasets import generators
 from repro.errors import ReproError
@@ -38,6 +41,7 @@ needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
 
 ALGORITHMS = [
     ("semicore", semi_core),
+    ("semicore+", semi_core_plus),
     ("semicore*", semi_core_star),
     ("imcore", im_core),
 ]
@@ -52,8 +56,18 @@ class TestRegistry:
         assert "numpy" in engine_names()
 
     def test_engine_aware_algorithms(self):
+        # The engine registry covers the full decomposition surface ...
         assert set(ENGINE_AWARE_ALGORITHMS) == \
-            {"semicore", "semicore*", "imcore"}
+            set(DECOMPOSITION_ALGORITHMS)
+        # ... plus the semi-external maintenance operations.
+        assert set(ENGINE_AWARE_MAINTENANCE) == \
+            {"insert", "insert*", "delete*"}
+
+    def test_both_engines_implement_the_full_surface(self):
+        for engine in available_engines():
+            impls = get_engine(engine).implementations()
+            assert set(ENGINE_AWARE_ALGORITHMS) <= set(impls)
+            assert set(ENGINE_AWARE_MAINTENANCE) <= set(impls)
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ReproError, match="unknown engine"):
@@ -90,13 +104,23 @@ class TestRegistry:
             from repro.core.engines import _REGISTRY
             _REGISTRY.pop("testengine", None)
 
+    def test_harness_routes_engine_for_every_algorithm(self,
+                                                       paper_storage):
+        for algorithm in DECOMPOSITION_ALGORITHMS:
+            for engine in available_engines():
+                result = run_decomposition(algorithm, paper_storage,
+                                           engine=engine)
+                assert result.kmax == 3, (algorithm, engine)
+
     def test_harness_rejects_engine_for_unaware_algorithm(
-            self, paper_storage):
+            self, paper_storage, monkeypatch):
+        # Every shipped algorithm is engine-aware now; shrink the aware
+        # set to prove the harness guard still fires for future ones.
+        import repro.bench.harness as harness
+        monkeypatch.setattr(harness, "ENGINE_AWARE_ALGORITHMS",
+                            ("semicore",))
         with pytest.raises(ReproError, match="no engine support"):
             run_decomposition("emcore", paper_storage, engine="numpy")
-
-    def test_harness_accepts_python_engine_everywhere(self,
-                                                      paper_storage):
         result = run_decomposition("emcore", paper_storage,
                                    engine="python")
         assert result.kmax == 3
@@ -217,6 +241,94 @@ class TestEngineParity:
         with pytest.raises(GraphError):
             semi_core(paper_storage, engine="numpy",
                       initial_cores=[1, 2, 3])
+
+
+@needs_numpy
+class TestEMCoreParity:
+    """EMCore parity across budgets and partition sizes.
+
+    EMCore's observables include *write* I/Os (the partition store), so
+    parity here also proves the numpy engine serializes byte-identical
+    partitions through the shared codec.
+    """
+
+    def run_both(self, edges, n, **kwargs):
+        reference = em_core(
+            GraphStorage.from_edges(edges, n, block_size=64), **kwargs)
+        vectorized = em_core(
+            GraphStorage.from_edges(edges, n, block_size=64),
+            engine="numpy", **kwargs)
+        assert_parity(reference, vectorized)
+        assert vectorized.engine == "numpy"
+        return reference, vectorized
+
+    def test_paper_graph(self, paper_graph):
+        edges, n = paper_graph
+        _, vectorized = self.run_both(edges, n, partition_arcs=6,
+                                      memory_budget_bytes=256)
+        assert list(vectorized.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+
+    @pytest.mark.parametrize("partition_arcs,budget", [
+        (1, 128),            # singleton partitions, many rounds
+        (8, 128),            # tiny budget: tight [kl, ku] ranges
+        (8, 1024),           # small partitions, merge path exercised
+        (32, 512),
+        (128, 1 << 20),      # everything fits: single round
+        (10 ** 9, 1 << 30),  # one partition holding the whole graph
+    ])
+    def test_budget_grid(self, rng, partition_arcs, budget):
+        for trial in range(4):
+            n = rng.randint(10, 80)
+            edges = make_random_edges(rng, n, 0.12)
+            reference, vectorized = self.run_both(
+                edges, n, partition_arcs=partition_arcs,
+                memory_budget_bytes=budget)
+            assert list(vectorized.cores) == nx_core_numbers(edges, n), \
+                (trial, partition_arcs, budget)
+
+    def test_merge_path_produces_identical_writes(self, rng):
+        """Small partitions + write-backs drive _merge_small_partitions."""
+        n = 90
+        edges = make_random_edges(rng, n, 0.10)
+        reference, vectorized = self.run_both(
+            edges, n, partition_arcs=16, memory_budget_bytes=400)
+        # Several rounds with merges happened, and both engines agree on
+        # every read and write block.
+        assert reference.iterations > 1
+        assert reference.io.write_ios > 0
+
+    def test_merge_disabled(self, rng):
+        n = 60
+        edges = make_random_edges(rng, n, 0.15)
+        self.run_both(edges, n, partition_arcs=16,
+                      memory_budget_bytes=256, merge_partitions=False)
+
+    def test_generator_graphs(self):
+        cases = [
+            generators.social_graph(300, 3, 12, seed=11),
+            generators.web_graph(300, 4, 12, 30, seed=12),
+            generators.star_graph(70),
+            generators.complete_graph(12),
+        ]
+        for edges, n in cases:
+            self.run_both(edges, n, partition_arcs=64,
+                          memory_budget_bytes=1024)
+
+    @given(graph_edges())
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_graphs(self, graph):
+        edges, n = graph
+        self.run_both(edges, n, partition_arcs=16,
+                      memory_budget_bytes=512)
+
+    def test_degenerate_graphs(self):
+        for edges, n in ([], 0), ([], 5), ([(0, 1)], 2):
+            self.run_both(edges, n)
+
+    def test_default_parameters(self, rng):
+        n = 50
+        edges = make_random_edges(rng, n, 0.2)
+        self.run_both(edges, n)
 
 
 @needs_numpy
