@@ -8,6 +8,8 @@ Scale" (Wen, Qin, Zhang, Lin, Yu -- ICDE 2016).  The public API exposes:
 * the decomposition algorithms (:func:`im_core`, :func:`em_core`,
   :func:`semi_core`, :func:`semi_core_plus`, :func:`semi_core_star`),
 * the maintenance API (:class:`~repro.core.CoreMaintainer`),
+* the serving layer (:class:`~repro.service.CoreService` -- cached
+  queries, journaled update batches, checkpointed restarts),
 * k-core queries (:func:`k_core_nodes`, :func:`degeneracy`), and
 * the synthetic dataset registry (:func:`~repro.datasets.load_dataset`).
 
@@ -52,6 +54,7 @@ from repro.core import (
     semi_core_star,
 )
 from repro.datasets import load_dataset
+from repro.service import CoreService, EventJournal, ServiceCache
 
 __all__ = [
     "__version__",
@@ -80,4 +83,7 @@ __all__ = [
     "core_histogram",
     "degeneracy",
     "load_dataset",
+    "CoreService",
+    "ServiceCache",
+    "EventJournal",
 ]

@@ -7,6 +7,7 @@ Subcommands
 ``stats``      print basic statistics of stored tables
 ``decompose``  run a decomposition algorithm and report its metrics
 ``maintain``   apply an update stream (``+ u v`` / ``- u v`` lines)
+``serve``      drive a CoreService through a zipfian query/update workload
 ``verify``     audit stored tables (and optionally a core file)
 ``report``     re-render benchmark result JSONs as tables
 """
@@ -14,6 +15,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench.harness import run_decomposition
@@ -128,6 +130,65 @@ def _cmd_maintain(args):
     return 0
 
 
+def _cmd_serve(args):
+    from repro.service import (
+        CoreService,
+        generate_queries,
+        generate_updates,
+        in_batches,
+        run_mixed_workload,
+    )
+
+    if args.batch_size < 1:
+        raise ReproError("--batch-size must be positive, got %d"
+                         % args.batch_size)
+    if args.cache_capacity < 0:
+        raise ReproError("--cache-capacity must be >= 0, got %d"
+                         % args.cache_capacity)
+    if args.queries < 0 or args.updates < 0:
+        raise ReproError("--queries and --updates must be >= 0")
+    storage = GraphStorage.open(args.graph)
+    if args.data_dir and os.path.exists(
+            os.path.join(args.data_dir, "manifest.json")):
+        service = CoreService.open(args.data_dir, storage,
+                                   engine=args.engine,
+                                   cache_capacity=args.cache_capacity)
+        print("resumed service from %s at epoch %d"
+              % (args.data_dir, service.epoch))
+    else:
+        service = CoreService.from_storage(
+            storage, algorithm=args.algorithm, engine=args.engine,
+            cache_capacity=args.cache_capacity, data_dir=args.data_dir)
+    kmax = service.degeneracy()
+    queries = generate_queries(service.num_nodes, kmax, args.queries,
+                               seed=args.seed)
+    updates = generate_updates(list(service.graph.edges()),
+                               service.num_nodes, args.updates,
+                               seed=args.seed)
+    batches = in_batches(updates, args.batch_size) if updates else []
+    metrics = run_mixed_workload(service, queries, batches)
+    rows = [
+        ("queries", format_count(metrics["queries"])),
+        ("updates applied", format_count(metrics["updates"])),
+        ("epoch", str(metrics["epoch"])),
+        ("queries/sec", format_count(int(metrics["qps"]))),
+        ("p50 latency", format_seconds(metrics["p50_seconds"])),
+        ("p99 latency", format_seconds(metrics["p99_seconds"])),
+        ("cache hit rate", "%.1f%%" % (100.0 * metrics["hit_rate"])),
+        ("read I/Os per 1k queries",
+         "%.1f" % metrics["read_ios_per_1k_queries"]),
+        ("kmax", str(service.degeneracy())),
+    ]
+    print(format_table(("metric", "value"), rows))
+    if args.data_dir:
+        service.checkpoint()
+        print("checkpointed to %s at epoch %d" % (args.data_dir,
+                                                  service.epoch))
+    service.close()
+    storage.close()
+    return 0
+
+
 def _cmd_verify(args):
     from repro.core.validate import validate_cores, verify_storage
     from repro.storage.memgraph import MemoryGraph
@@ -174,15 +235,45 @@ def _cmd_report(args):
         if args.figure and args.figure.lower() not in \
                 payload["figure"].lower():
             continue
-        headers = list(rows[0].keys())
+        # Raw metric fields (saved for collect_results.py) stay out of
+        # the rendered table, exactly as the benchmark sink prints it.
+        headers = [key for key in rows[0] if not key.startswith("_")]
         print(format_table(
             headers,
             [[row.get(h, "") for h in headers] for row in rows],
             title="== %s (scale %s) ==" % (payload["figure"],
                                            payload.get("scale", "?")),
         ))
+        summary = _service_summary(rows)
+        if summary:
+            print(summary)
         print()
     return 0
+
+
+def _service_summary(rows):
+    """One-line digest of service-bench rows (qps / hit rate columns).
+
+    The service throughput benchmark saves raw ``_qps`` / ``_hit_rate``
+    metrics per row; whenever a reported figure carries them, ``repro
+    report`` condenses the serving picture under the table.
+    """
+    service_rows = [row for row in rows
+                    if "_qps" in row or "_hit_rate" in row]
+    if not service_rows:
+        return None
+    best_qps = max((row.get("_qps", 0.0) for row in service_rows),
+                   default=0.0)
+    hit_rates = [row["_hit_rate"] for row in service_rows
+                 if "_hit_rate" in row]
+    parts = ["service: peak %s queries/sec" % format_count(int(best_qps))]
+    if hit_rates:
+        parts.append("best cache hit rate %.1f%%" % (100.0 * max(hit_rates)))
+    io_rows = [row["_read_ios_per_1k_queries"] for row in service_rows
+               if "_read_ios_per_1k_queries" in row]
+    if io_rows:
+        parts.append("min %.1f read I/Os per 1k queries" % min(io_rows))
+    return "   " + ", ".join(parts)
 
 
 def build_parser():
@@ -235,6 +326,30 @@ def build_parser():
                         "(default: the reference python engine)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_maintain)
+
+    p = sub.add_parser("serve",
+                       help="serve core-index queries over a graph")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--queries", type=int, default=2000,
+                   help="number of zipfian queries to run")
+    p.add_argument("--updates", type=int, default=0,
+                   help="number of edge update events to interleave")
+    p.add_argument("--batch-size", type=int, default=32,
+                   help="events per applied update batch")
+    p.add_argument("--algorithm", default="semicore*",
+                   choices=["semicore", "semicore+", "semicore*",
+                            "emcore", "imcore"],
+                   help="decomposition algorithm seeding the index")
+    p.add_argument("--engine", default=None, choices=engine_names(),
+                   help="execution engine for seeding and maintenance")
+    p.add_argument("--cache-capacity", type=int, default=4096,
+                   help="query cache entries (0 disables the cache)")
+    p.add_argument("--data-dir",
+                   help="journal + checkpoint directory (resumed when it "
+                        "already holds a manifest)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (same seed, same stream)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("verify", help="audit stored graph tables")
     p.add_argument("--graph", required=True)

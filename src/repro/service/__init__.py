@@ -1,0 +1,41 @@
+"""The core-index serving subsystem.
+
+Everything needed to *keep* a decomposition rather than just compute it:
+
+* :class:`~repro.service.core_service.CoreService` -- lifecycle, read
+  queries, batched updates, checkpointed restarts;
+* :class:`~repro.service.cache.ServiceCache` /
+  :class:`~repro.service.cache.CacheStats` -- the read-through LRU with
+  epoch-based invalidation;
+* :class:`~repro.service.journal.EventJournal` -- the write-ahead
+  journal restarts replay from;
+* :mod:`~repro.service.workload` -- deterministic zipfian workloads for
+  benchmarks and examples.
+"""
+
+from repro.service.cache import CacheStats, ServiceCache
+from repro.service.core_service import CoreService
+from repro.service.journal import EventJournal
+from repro.service.workload import (
+    ZipfianSampler,
+    execute_query,
+    generate_queries,
+    generate_updates,
+    in_batches,
+    run_mixed_workload,
+    run_queries,
+)
+
+__all__ = [
+    "CoreService",
+    "ServiceCache",
+    "CacheStats",
+    "EventJournal",
+    "ZipfianSampler",
+    "generate_queries",
+    "generate_updates",
+    "in_batches",
+    "execute_query",
+    "run_queries",
+    "run_mixed_workload",
+]

@@ -1,0 +1,166 @@
+"""Read-through LRU cache over :class:`CoreService` query results.
+
+Keys are structured tuples whose first element names the query kind, so
+the cache -- not the service -- owns the invalidation rule: every
+applied batch bumps the index epoch and evicts *only* the entries the
+batch could have changed.
+
+What each query kind depends on
+-------------------------------
+``coreness``, ``members``, ``histogram``, ``degeneracy`` and ``top``
+are pure functions of the ``core[]`` array; ``subgraph`` additionally
+depends on the edge set (an insert between two deep nodes changes the
+k-core *subgraph* even when no core number moves).  Hence per batch:
+
+* nothing core-dependent is touched when no core number changed;
+* ``("coreness", v)`` dies only for the nodes whose value changed;
+* the global aggregates die whenever any value changed;
+* ``("members", k)`` / ``("subgraph", k)`` die when their threshold is
+  at most the *max touched coreness* -- the largest core value involved
+  in the batch (old/new values of changed nodes, plus
+  ``min(core(u), core(v))`` of each event edge, which is the deepest
+  k-core whose subgraph contains that edge).  Thresholds above it are
+  provably unaffected and survive.
+
+Over-eviction is always safe (the service recomputes); under-eviction
+would break the byte-identical cache-on/cache-off contract asserted in
+``tests/test_service.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+#: Query kinds whose value depends only on the full core[] array.
+_AGGREGATE_KINDS = ("histogram", "degeneracy", "top")
+#: Query kinds keyed by a k-core threshold.
+_THRESHOLD_KINDS = ("members", "subgraph")
+
+DEFAULT_CAPACITY = 4096
+
+
+class CacheStats:
+    """Hit/miss/eviction counters, surfaced next to the graph's IOStats."""
+
+    __slots__ = ("hits", "misses", "evictions", "invalidations")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def lookups(self):
+        """Total number of cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        """Fraction of probes served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self):
+        """Plain-dict view for reports and manifests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self):
+        return ("CacheStats(hits=%d, misses=%d, evictions=%d, "
+                "invalidations=%d)" % (self.hits, self.misses,
+                                       self.evictions, self.invalidations))
+
+
+class ServiceCache:
+    """LRU cache with epoch-tagged entries and selective invalidation.
+
+    ``capacity`` bounds the number of entries; 0 disables caching
+    entirely (every probe is a miss and nothing is stored), which is how
+    the benchmarks measure the uncached baseline.
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0, got %r" % (capacity,))
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries = OrderedDict()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    # -- read-through protocol ----------------------------------------------
+    def get(self, key):
+        """Probe for ``key``; returns ``(hit, value)`` and counts the probe."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return False, None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return True, entry[0]
+
+    def put(self, key, value, epoch):
+        """Store ``value`` computed at index ``epoch``, evicting LRU entries."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = (value, epoch)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def entry_epoch(self, key):
+        """Index epoch a cached entry was computed at (None when absent)."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry[1]
+
+    # -- invalidation -------------------------------------------------------
+    def invalidate(self, changed_nodes=(), max_core_touched=0):
+        """Evict the entries an applied batch could have changed.
+
+        ``changed_nodes`` are the nodes whose core number changed;
+        ``max_core_touched`` is the batch's max touched coreness (see the
+        module docstring).  Returns the number of evicted entries.
+        """
+        changed = set(changed_nodes)
+        doomed = []
+        for key in self._entries:
+            kind = key[0]
+            if kind == "coreness":
+                if key[1] in changed:
+                    doomed.append(key)
+            elif kind in _AGGREGATE_KINDS:
+                if changed:
+                    doomed.append(key)
+            elif kind == "members":
+                if changed and key[1] <= max_core_touched:
+                    doomed.append(key)
+            elif kind == "subgraph":
+                if key[1] <= max_core_touched:
+                    doomed.append(key)
+            else:
+                # Unknown kinds get no selective rule: always evict.
+                doomed.append(key)
+        for key in doomed:
+            del self._entries[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self):
+        """Drop every entry (counted as invalidations)."""
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def __repr__(self):
+        return "ServiceCache(entries=%d, capacity=%d, hit_rate=%.2f)" % (
+            len(self._entries), self.capacity, self.stats.hit_rate
+        )

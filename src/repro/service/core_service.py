@@ -1,0 +1,615 @@
+"""The core-index serving subsystem.
+
+:class:`CoreService` is the long-lived object the ROADMAP's north star
+asks for: it owns a :class:`~repro.storage.dynamic.DynamicGraph` plus a
+maintained ``core[]``/``cnt[]`` index and serves read queries while
+absorbing an edge-update stream.  The three moving parts:
+
+* **read path** -- every query goes through a read-through
+  :class:`~repro.service.cache.ServiceCache`; misses compute from the
+  maintained index (and, for subgraph extraction, from I/O-counted
+  adjacency reads).  Results are byte-identical with the cache on or
+  off, and across execution engines.
+* **write path** -- :meth:`apply` journals a batch of ``("+"|"-", u, v)``
+  events (write-ahead), routes it through the maintenance algorithms of
+  Section V (``engine=`` respected end-to-end), bumps the index *epoch*
+  and evicts only the affected cache entries.
+* **durability** -- every ``checkpoint_interval`` batches the
+  ``core``/``cnt`` arrays are checkpointed via
+  :mod:`repro.core.maintenance.checkpoint` and a manifest records the
+  journal offset they are valid at.  :meth:`open` restarts by replaying
+  the pre-checkpoint journal prefix into the graph (cheap, no
+  maintenance), installing the checkpointed index, and re-running only
+  the journal *tail* through the maintenance algorithms -- reproducing
+  the straight-through state exactly (``tests/test_service_recovery.py``
+  kills a service mid-batch to prove it).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+from array import array
+
+from repro.bench.harness import run_decomposition
+from repro.core.kcore import core_histogram, degeneracy, k_core_nodes
+from repro.core.maintenance.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.maintenance.maintainer import CoreMaintainer
+from repro.errors import (
+    CorruptStorageError,
+    EdgeExistsError,
+    EdgeNotFoundError,
+    GraphError,
+    ReproError,
+)
+from repro.service.cache import DEFAULT_CAPACITY, ServiceCache
+from repro.service.journal import EventJournal
+from repro.storage.dynamic import DEFAULT_BUFFER_CAPACITY, DynamicGraph
+from repro.storage.graphstore import GraphStorage
+
+MANIFEST_NAME = "manifest.json"
+CHECKPOINT_NAME = "state.ckpt"
+JOURNAL_NAME = "journal.log"
+MANIFEST_VERSION = 1
+
+#: Batches applied between automatic checkpoints (None disables them).
+DEFAULT_CHECKPOINT_INTERVAL = 16
+
+
+class CoreService:
+    """Serve core-index queries over a dynamic graph.
+
+    Build one with :meth:`from_storage` / :meth:`from_graph` (seeds the
+    index with a decomposition run) or :meth:`open` (resumes from a
+    checkpointed data directory).  The constructor itself only wires
+    already-consistent parts together.
+    """
+
+    def __init__(self, maintainer, *, cache_capacity=DEFAULT_CAPACITY,
+                 journal=None, data_dir=None,
+                 checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
+                 insert_algorithm="star", epoch=0, events_applied=0,
+                 graph_path=None, seed_algorithm=None):
+        self._maintainer = maintainer
+        self._cache = ServiceCache(cache_capacity)
+        self._journal = journal
+        self._data_dir = os.fspath(data_dir) if data_dir is not None else None
+        self._checkpoint_interval = checkpoint_interval
+        self._check_algorithm(insert_algorithm)
+        self._insert_algorithm = insert_algorithm
+        self._epoch = epoch
+        self._events_applied = events_applied
+        self._graph_path = graph_path
+        self._seed_algorithm = seed_algorithm
+        self._last_checkpoint_epoch = epoch
+        self._queries_served = 0
+        #: Storage this service opened itself (via a manifest graph
+        #: path) and therefore must close; caller-provided storage
+        #: stays the caller's.
+        self._owned_storage = None
+        #: Test-only crash-injection point: called after the journal
+        #: append succeeds but before the batch touches the index.
+        self._crash_after_journal = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_storage(cls, storage, *, algorithm="semicore*", engine=None,
+                     cache_capacity=DEFAULT_CAPACITY, data_dir=None,
+                     buffer_capacity=DEFAULT_BUFFER_CAPACITY,
+                     path_factory=None,
+                     checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
+                     insert_algorithm="star"):
+        """Seed a service over on-disk (or in-memory) graph tables.
+
+        ``algorithm`` picks any decomposition algorithm for the seeding
+        run and ``engine`` any execution engine -- both maintained
+        arrays are bit-identical across those choices.  With
+        ``data_dir`` the service journals updates and checkpoints there,
+        making :meth:`open` restarts possible.
+        """
+        graph = DynamicGraph(storage, buffer_capacity=buffer_capacity,
+                             path_factory=path_factory)
+        return cls.from_graph(
+            graph, algorithm=algorithm, engine=engine,
+            cache_capacity=cache_capacity, data_dir=data_dir,
+            checkpoint_interval=checkpoint_interval,
+            insert_algorithm=insert_algorithm,
+            graph_path=getattr(storage, "path", None),
+        )
+
+    @classmethod
+    def from_graph(cls, graph, *, algorithm="semicore*", engine=None,
+                   cache_capacity=DEFAULT_CAPACITY, data_dir=None,
+                   checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
+                   insert_algorithm="star", graph_path=None):
+        """Seed a service over any mutable graph with the read protocol."""
+        result = run_decomposition(algorithm, graph, engine=engine)
+        cores = array("i", result.cores)
+        if result.cnt is not None:
+            cnt = array("i", result.cnt)
+        else:
+            cnt = _compute_cnt_scan(graph, cores)
+        maintainer = CoreMaintainer(graph, cores, cnt, engine=engine)
+        journal = None
+        if data_dir is not None:
+            data_dir = os.fspath(data_dir)
+            if os.path.exists(os.path.join(data_dir, MANIFEST_NAME)):
+                raise ReproError(
+                    "data directory %s is already initialized; resume it "
+                    "with CoreService.open instead of reseeding" % data_dir)
+            os.makedirs(data_dir, exist_ok=True)
+            journal = EventJournal(os.path.join(data_dir, JOURNAL_NAME))
+        service = cls(maintainer, cache_capacity=cache_capacity,
+                      journal=journal, data_dir=data_dir,
+                      checkpoint_interval=checkpoint_interval,
+                      insert_algorithm=insert_algorithm,
+                      graph_path=graph_path, seed_algorithm=algorithm)
+        service.seed_result = result
+        if data_dir is not None:
+            service.checkpoint()
+        return service
+
+    @classmethod
+    def open(cls, data_dir, storage=None, *, engine=None,
+             cache_capacity=DEFAULT_CAPACITY,
+             buffer_capacity=DEFAULT_BUFFER_CAPACITY, path_factory=None,
+             checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
+             insert_algorithm="star"):
+        """Resume a service from its checkpointed data directory.
+
+        ``storage`` must be the *seed* graph tables the service was
+        created over (pristine -- the service never mutates them in
+        place); when omitted, the path recorded in the manifest is
+        reopened.  Restart replays the journal prefix covered by the
+        checkpoint into the graph only, then re-runs the journal tail
+        through the maintenance algorithms, so the resumed ``core``,
+        ``cnt`` and epoch equal a straight-through run's.  A corrupted
+        journal tail raises :class:`~repro.errors.CorruptStorageError`
+        before any state is touched.
+        """
+        data_dir = os.fspath(data_dir)
+        manifest_path = os.path.join(data_dir, MANIFEST_NAME)
+        try:
+            with open(manifest_path, "r", encoding="ascii") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise ReproError(
+                "no service manifest under %s (seed one with "
+                "CoreService.from_storage(data_dir=...))" % data_dir
+            ) from None
+        except ValueError as exc:
+            raise CorruptStorageError(
+                "service manifest %s is unreadable: %s"
+                % (manifest_path, exc)) from None
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise CorruptStorageError(
+                "unsupported service manifest version %r"
+                % (manifest.get("version"),))
+        graph_path = manifest.get("graph_path")
+        owned_storage = None
+        if storage is None:
+            if not graph_path:
+                raise ReproError(
+                    "manifest records no graph path; pass the seed "
+                    "storage explicitly")
+            storage = owned_storage = GraphStorage.open(graph_path)
+        try:
+            journal = EventJournal(
+                os.path.join(data_dir,
+                             manifest.get("journal", JOURNAL_NAME)))
+            applied = int(manifest["events_applied"])
+            events = journal.events()
+            if applied > len(events):
+                raise CorruptStorageError(
+                    "journal holds %d events but the checkpoint covers %d"
+                    % (len(events), applied))
+            graph = DynamicGraph(storage, buffer_capacity=buffer_capacity,
+                                 path_factory=path_factory)
+            # The checkpointed arrays describe the graph *after* the
+            # first ``applied`` events; replay them into the graph alone
+            # (no maintenance needed -- the index already reflects them).
+            for _, op, u, v in events[:applied]:
+                if op == "+":
+                    graph.insert_edge(u, v, validate=False)
+                else:
+                    graph.delete_edge(u, v, validate=False)
+            cores, cnt = load_checkpoint(
+                os.path.join(data_dir, manifest.get("checkpoint",
+                                                    CHECKPOINT_NAME)),
+                graph)
+            maintainer = CoreMaintainer(graph, cores, cnt, engine=engine)
+            service = cls(maintainer, cache_capacity=cache_capacity,
+                          journal=journal, data_dir=data_dir,
+                          checkpoint_interval=checkpoint_interval,
+                          insert_algorithm=insert_algorithm,
+                          epoch=int(manifest["epoch"]),
+                          events_applied=applied, graph_path=graph_path,
+                          seed_algorithm=manifest.get("seed_algorithm"))
+            # Re-run the journal tail through the full maintenance path,
+            # preserving the original batch boundaries (= epoch
+            # sequence).
+            for batch, ops in journal.batches(applied):
+                service._apply_ops(ops, batch=batch)
+        except BaseException:
+            if owned_storage is not None:
+                owned_storage.close()
+            raise
+        service._owned_storage = owned_storage
+        return service
+
+    def close(self):
+        """Release the journal and any storage this service opened itself.
+
+        Caller-provided storage stays the caller's to close; storage
+        reopened from a manifest ``graph_path`` belongs to the service.
+        Note a compaction may already have retired the original tables
+        (``DynamicGraph`` closes them), in which case this is a no-op.
+        """
+        if self._journal is not None:
+            self._journal.close()
+        if self._owned_storage is not None:
+            self._owned_storage.close()
+            self._owned_storage = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The dynamic graph the service maintains."""
+        return self._maintainer.graph
+
+    @property
+    def maintainer(self):
+        """The underlying :class:`CoreMaintainer`."""
+        return self._maintainer
+
+    @property
+    def cache(self):
+        """The query cache (read its ``stats`` next to ``io_stats``)."""
+        return self._cache
+
+    @property
+    def cache_stats(self):
+        """Hit/miss/eviction counters of the query cache."""
+        return self._cache.stats
+
+    @property
+    def io_stats(self):
+        """Block-I/O counters of the underlying graph."""
+        return self.graph.io_stats
+
+    @property
+    def epoch(self):
+        """Number of update batches applied to the index so far."""
+        return self._epoch
+
+    @property
+    def events_applied(self):
+        """Total edge events applied across all batches."""
+        return self._events_applied
+
+    @property
+    def queries_served(self):
+        """Number of read-API calls answered."""
+        return self._queries_served
+
+    @property
+    def num_nodes(self):
+        """Number of nodes of the served graph."""
+        return self.graph.num_nodes
+
+    def stats(self):
+        """One dict of serving counters, for reports and debugging."""
+        io = self.io_stats
+        return {
+            "epoch": self._epoch,
+            "events_applied": self._events_applied,
+            "queries_served": self._queries_served,
+            "kmax": self.degeneracy(),
+            "cache": self._cache.stats.as_dict(),
+            "read_ios": io.read_ios,
+            "write_ios": io.write_ios,
+        }
+
+    def verify(self):
+        """Recompute the decomposition from scratch and compare (debug)."""
+        return self._maintainer.verify()
+
+    # ------------------------------------------------------------------
+    # read API
+    # ------------------------------------------------------------------
+    def coreness(self, v):
+        """Core number of node ``v``."""
+        self._queries_served += 1
+        return self._cached(("coreness", self._check_node(v)),
+                            lambda: self._maintainer.core(v))
+
+    def coreness_many(self, nodes):
+        """Core numbers for a batch of nodes (one cache probe each)."""
+        self._queries_served += 1
+        core = self._maintainer.core
+        return [self._cached(("coreness", self._check_node(v)),
+                             lambda v=v: core(v))
+                for v in nodes]
+
+    def kcore_members(self, k):
+        """Node ids of the k-core (``core(v) >= k``)."""
+        self._queries_served += 1
+        value = self._cached(
+            ("members", self._check_k(k)),
+            lambda: tuple(k_core_nodes(self._maintainer.cores, k)))
+        return list(value)
+
+    def kcore_subgraph(self, k):
+        """Edges of the k-core subgraph, streamed from storage.
+
+        Member adjacencies are read from the (I/O-counted) graph in
+        ascending node order and filtered against the threshold; the
+        result is the sorted ``(u, v)`` edge list with ``u < v``.
+        """
+        self._queries_served += 1
+        value = self._cached(("subgraph", self._check_k(k)),
+                             lambda: self._extract_subgraph(k))
+        return list(value)
+
+    def core_histogram(self):
+        """Mapping ``k -> number of nodes with core number exactly k``."""
+        self._queries_served += 1
+        value = self._cached(
+            ("histogram",),
+            lambda: tuple(sorted(
+                core_histogram(self._maintainer.cores).items())))
+        return dict(value)
+
+    def top_k(self, k):
+        """The ``k`` highest-coreness ``(node, core)`` pairs.
+
+        Deterministic order: descending core number, ascending node id.
+        """
+        self._queries_served += 1
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        value = self._cached(("top", k), lambda: self._compute_top(k))
+        return list(value)
+
+    def degeneracy(self):
+        """The largest core number currently present."""
+        self._queries_served += 1
+        return self._cached(
+            ("degeneracy",),
+            lambda: degeneracy(self._maintainer.cores))
+
+    # ------------------------------------------------------------------
+    # write API
+    # ------------------------------------------------------------------
+    def apply(self, events, *, algorithm=None):
+        """Apply a batch of ``("+"|"-", u, v)`` events to graph and index.
+
+        The batch is validated against the current graph, journaled
+        (when the service has a data directory), routed through the
+        maintenance algorithms in order, and finally the epoch is bumped
+        and the affected cache entries evicted.  Returns the
+        ``CoreMaintainer.apply_batch`` summary extended with ``epoch``
+        and ``max_core_touched``.  An empty batch is a no-op and does
+        not bump the epoch.
+        """
+        ops = [self._normalize_event(event) for event in events]
+        if not ops:
+            from repro.storage.blockio import IOStats
+
+            return {"inserts": 0, "deletes": 0, "changed_nodes": [],
+                    "node_computations": 0, "io": IOStats(),
+                    "epoch": self._epoch, "max_core_touched": 0}
+        self._check_algorithm(algorithm)
+        self._validate_ops(ops)
+        batch = self._epoch + 1
+        if self._journal is not None:
+            self._journal.append(ops, batch)
+        if self._crash_after_journal is not None:
+            self._crash_after_journal()
+        summary = self._apply_ops(ops, batch=batch, algorithm=algorithm)
+        if (self._data_dir is not None
+                and self._checkpoint_interval is not None
+                and self._epoch - self._last_checkpoint_epoch
+                >= self._checkpoint_interval):
+            self.checkpoint()
+        return summary
+
+    def checkpoint(self):
+        """Checkpoint ``core``/``cnt`` and the covered journal offset.
+
+        Both the state file and the manifest are written to a sibling
+        temp file, fsynced, and atomically renamed (then the directory
+        entry is fsynced), so a crash mid-checkpoint -- including a
+        power loss with the rename journaled before the data blocks --
+        leaves the previous consistent pair in place.
+        """
+        if self._data_dir is None:
+            raise ReproError("service has no data directory to "
+                             "checkpoint into")
+        state_path = os.path.join(self._data_dir, CHECKPOINT_NAME)
+        save_checkpoint(state_path + ".tmp", self.graph,
+                        self._maintainer.cores, self._maintainer.cnt)
+        _fsync_path(state_path + ".tmp")
+        os.replace(state_path + ".tmp", state_path)
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "epoch": self._epoch,
+            "events_applied": self._events_applied,
+            "checkpoint": CHECKPOINT_NAME,
+            "journal": JOURNAL_NAME,
+            "graph_path": self._graph_path,
+            "seed_algorithm": self._seed_algorithm,
+            "num_nodes": self.graph.num_nodes,
+        }
+        manifest_path = os.path.join(self._data_dir, MANIFEST_NAME)
+        with open(manifest_path + ".tmp", "w", encoding="ascii") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(manifest_path + ".tmp", manifest_path)
+        _fsync_path(self._data_dir)
+        self._last_checkpoint_epoch = self._epoch
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _cached(self, key, compute):
+        hit, value = self._cache.get(key)
+        if hit:
+            return value
+        value = compute()
+        self._cache.put(key, value, self._epoch)
+        return value
+
+    def _extract_subgraph(self, k):
+        cores = self._maintainer.cores
+        graph = self.graph
+        edges = []
+        for v in k_core_nodes(cores, k):
+            for u in graph.neighbors(v):
+                if u > v and cores[u] >= k:
+                    edges.append((v, int(u)))
+        return tuple(edges)
+
+    def _compute_top(self, k):
+        cores = self._maintainer.cores
+        order = heapq.nsmallest(k, range(len(cores)),
+                                key=lambda v: (-cores[v], v))
+        return tuple((v, cores[v]) for v in order)
+
+    def _apply_ops(self, ops, *, batch, algorithm=None):
+        """Run one validated, already-journaled batch through maintenance."""
+        pre = array("i", self._maintainer.cores)
+        touched = 0
+        for _, u, v in ops:
+            touched = max(touched, min(pre[u], pre[v]))
+        # validate=False: the batch was already checked (with overlay
+        # semantics) by _validate_ops, so re-validating inside the
+        # maintenance kernels would only double the charged reads.
+        summary = self._maintainer.apply_batch(
+            ops, algorithm=algorithm or self._insert_algorithm,
+            validate=False)
+        cores = self._maintainer.cores
+        for _, u, v in ops:
+            touched = max(touched, min(cores[u], cores[v]))
+        for v in summary["changed_nodes"]:
+            touched = max(touched, pre[v], cores[v])
+        self._epoch = batch
+        self._events_applied += len(ops)
+        self._cache.invalidate(summary["changed_nodes"], touched)
+        summary["epoch"] = self._epoch
+        summary["max_core_touched"] = touched
+        return summary
+
+    def _normalize_event(self, event):
+        try:
+            op, u, v = event
+        except (TypeError, ValueError):
+            raise ReproError(
+                "event must be a ('+'/'-', u, v) triple, got %r"
+                % (event,)) from None
+        if op not in ("+", "-"):
+            raise ReproError(
+                "event kind must be '+' or '-', got %r" % (op,))
+        return op, int(u), int(v)
+
+    def _validate_ops(self, ops):
+        """Check a batch is applicable *before* it reaches the journal.
+
+        Events within the batch interact (an insert may precede the
+        deletion of the same edge), so applicability is simulated with
+        an overlay on top of the current graph.  A batch that fails here
+        is rejected wholesale -- nothing is journaled or applied.
+        """
+        graph = self.graph
+        n = graph.num_nodes
+        overlay = {}
+        for op, u, v in ops:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(
+                    "edge (%d, %d) out of range for n=%d" % (u, v, n))
+            if u == v:
+                raise GraphError("self loop (%d, %d) not allowed" % (u, v))
+            key = (u, v) if u < v else (v, u)
+            present = overlay.get(key)
+            if present is None:
+                present = graph.has_edge(u, v)
+            if op == "+":
+                if present:
+                    raise EdgeExistsError(
+                        "edge (%d, %d) already present" % (u, v))
+            else:
+                if not present:
+                    raise EdgeNotFoundError(
+                        "edge (%d, %d) not present" % (u, v))
+            overlay[key] = op == "+"
+
+    def _check_algorithm(self, algorithm):
+        """Reject unknown insert algorithms *before* the batch is journaled.
+
+        The maintainer would raise on its own -- but only mid-batch,
+        after the journal append and possibly after earlier events
+        mutated the index, leaving a half-applied batch the journal
+        would still replay in full.
+        """
+        from repro.core.maintenance.maintainer import INSERT_ALGORITHMS
+
+        if algorithm is not None and algorithm not in INSERT_ALGORITHMS:
+            raise ValueError(
+                "unknown insert algorithm %r (choose from %r)"
+                % (algorithm, INSERT_ALGORITHMS))
+
+    def _check_node(self, v):
+        if not 0 <= v < self.graph.num_nodes:
+            raise GraphError(
+                "node %d out of range for n=%d" % (v, self.graph.num_nodes))
+        return v
+
+    @staticmethod
+    def _check_k(k):
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return k
+
+    def __repr__(self):
+        return ("CoreService(n=%d, epoch=%d, events=%d, queries=%d, "
+                "cache_hit_rate=%.2f)"
+                % (self.graph.num_nodes, self._epoch, self._events_applied,
+                   self._queries_served, self._cache.stats.hit_rate))
+
+
+def _fsync_path(path):
+    """fsync a file (or directory) by path, so renames survive power loss."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _compute_cnt_scan(graph, cores):
+    """Eq. 2 counters for arbitrary seed algorithms, in one scan.
+
+    SemiCore* hands its ``cnt`` array over directly; the other seeding
+    algorithms only produce ``core[]``, so the counters are derived with
+    a single sequential adjacency scan (I/O-counted like any scan).
+    """
+    from repro.core.locality import compute_cnt
+
+    cnt = array("i", bytes(4 * graph.num_nodes))
+    for v, nbrs in graph.iter_adjacency():
+        cnt[v] = compute_cnt(cores, nbrs, cores[v])
+    return cnt

@@ -1,0 +1,225 @@
+"""Write-ahead journal of edge update events.
+
+:class:`CoreService` journals every accepted batch *before* applying it
+to the maintained index, so a crash between the append and the in-memory
+state transition loses nothing: on restart the tail of the journal is
+replayed on top of the last checkpoint (``service/core_service.py``).
+
+Durability model
+----------------
+* A record is 21 bytes: a kind byte, two 32-bit fields, the 64-bit id
+  of the batch it belongs to, and a CRC32 of those fields.  Each
+  :meth:`append` writes one *batch header* record (kind 2, carrying the
+  event count) followed by the event records (kind 0 insert / 1
+  delete), all in a single ``write`` + ``flush`` + ``fsync``.
+* Batches are the unit of crash-atomicity.  A torn append -- a partial
+  trailing record, or a batch header followed by fewer event records
+  than it announces -- is the signature of a crash mid-append: the
+  whole unacknowledged batch is silently discarded on open and
+  overwritten by the next append.  Without the header, a torn write
+  that happened to end on a record boundary would replay as a
+  *truncated* batch, a state matching neither "applied" nor "lost".
+* A complete record whose CRC does not match is treated as
+  *corruption*, not an interrupted write, and replaying past it could
+  desynchronize the index from the graph:
+  :class:`~repro.errors.CorruptStorageError` is raised instead.  This
+  is a deliberate trade-off: a filesystem that extends the file before
+  the data blocks land could, after a crash, present a full-size
+  garbage record that this policy refuses to auto-truncate -- but
+  silently discarding CRC failures would also discard *actual*
+  corruption, and the service's source of truth (graph tables +
+  checkpoint) makes a rejected journal recoverable by reseeding,
+  whereas replaying a wrong event is not.  An existing but empty
+  journal file (crash between create and header write) is unambiguous
+  and is re-initialized in place.
+
+The journal counts none of its own bytes against the graph's
+:class:`~repro.storage.blockio.IOStats`: it is service durability
+plumbing, not part of the paper's external-memory cost model.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+from repro.errors import CorruptStorageError
+
+_MAGIC = b"RPRJRNL1"
+_VERSION = 1
+_FILE_HEADER = struct.Struct("<8sI4x")
+_PAYLOAD = struct.Struct("<BIIQ")
+_CRC = struct.Struct("<I")
+
+RECORD_SIZE = _PAYLOAD.size + _CRC.size
+
+#: Event kind byte <-> the public "+" / "-" operation codes.
+_KIND_TO_OP = {0: "+", 1: "-"}
+_OP_TO_KIND = {"+": 0, "-": 1}
+#: Kind byte of the per-batch header record (u = event count, v unused).
+_KIND_BATCH = 2
+
+
+def _pack_record(kind, u, v, batch):
+    payload = _PAYLOAD.pack(kind, u, v, batch)
+    return payload + _CRC.pack(zlib.crc32(payload) & 0xFFFFFFFF)
+
+
+class EventJournal:
+    """Append-only journal of ``("+"|"-", u, v)`` events grouped in batches."""
+
+    def __init__(self, path):
+        """Open (or create) the journal at ``path``.
+
+        Opening scans the existing records once: the event count is
+        recovered, a torn trailing batch (partial record or incomplete
+        batch) is truncated away, and a corrupt complete record raises
+        :class:`~repro.errors.CorruptStorageError` immediately -- a
+        journal that cannot be replayed must not be appended to.
+        """
+        self.path = os.fspath(path)
+        # A 0-byte file is a crash between create and header write:
+        # nothing was ever journaled, so re-initialize it.
+        fresh = (not os.path.exists(self.path)
+                 or os.path.getsize(self.path) == 0)
+        self._handle = open(self.path, "w+b" if fresh else "r+b")
+        if fresh:
+            self._handle.write(_FILE_HEADER.pack(_MAGIC, _VERSION))
+            self._sync()
+            self._events = []
+            self._append_pos = _FILE_HEADER.size
+        else:
+            self._events, self._append_pos = self._scan()
+
+    # -- writing ------------------------------------------------------------
+    def append(self, events, batch):
+        """Durably append ``events`` as one crash-atomic batch.
+
+        The header + event records hit the disk (``fsync``) before this
+        returns; only then may the caller apply the batch to the index.
+        """
+        if self._handle.closed:
+            raise CorruptStorageError("journal %s is closed" % self.path)
+        events = list(events)
+        if not events:
+            return
+        blob = _pack_record(_KIND_BATCH, len(events), 0, batch)
+        blob += b"".join(_pack_record(_OP_TO_KIND[op], u, v, batch)
+                         for op, u, v in events)
+        self._handle.seek(self._append_pos)
+        self._handle.write(blob)
+        self._handle.truncate()
+        self._sync()
+        self._events.extend((batch, op, u, v) for op, u, v in events)
+        self._append_pos += len(blob)
+
+    # -- reading ------------------------------------------------------------
+    @property
+    def num_events(self):
+        """Number of valid events currently journaled."""
+        return len(self._events)
+
+    def events(self, start=0):
+        """The journaled ``(batch, op, u, v)`` tuples from index ``start``."""
+        return list(self._events[start:])
+
+    def batches(self, start=0):
+        """Group :meth:`events` from ``start`` into ``(batch, events)`` runs.
+
+        Events of one batch are contiguous by construction (one append
+        per batch); the grouping keys on the stored batch id so a replay
+        reproduces exactly the batch boundaries -- and therefore the
+        epoch sequence -- of the original run.
+        """
+        groups = []
+        for batch, op, u, v in self._events[start:]:
+            if not groups or groups[-1][0] != batch:
+                groups.append((batch, []))
+            groups[-1][1].append((op, u, v))
+        return groups
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self):
+        """Close the backing file."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- internals ----------------------------------------------------------
+    def _sync(self):
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def _read_record(self, index):
+        """Next record as ``(kind, u, v, batch)``; None at a torn tail."""
+        record = self._handle.read(RECORD_SIZE)
+        if len(record) < RECORD_SIZE:
+            return None
+        payload, crc = record[:_PAYLOAD.size], record[_PAYLOAD.size:]
+        if _CRC.unpack(crc)[0] != zlib.crc32(payload) & 0xFFFFFFFF:
+            raise CorruptStorageError(
+                "journal %s: record %d fails its checksum "
+                "(corrupted tail)" % (self.path, index))
+        return _PAYLOAD.unpack(payload)
+
+    def _scan(self):
+        self._handle.seek(0)
+        header = self._handle.read(_FILE_HEADER.size)
+        if len(header) != _FILE_HEADER.size:
+            raise CorruptStorageError(
+                "journal %s: header truncated" % self.path)
+        magic, version = _FILE_HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise CorruptStorageError(
+                "journal %s: bad magic %r" % (self.path, magic))
+        if version != _VERSION:
+            raise CorruptStorageError(
+                "journal %s: unsupported version %d" % (self.path, version))
+        events = []
+        position = _FILE_HEADER.size
+        read = 0
+        while True:
+            head = self._read_record(read)
+            if head is None:
+                break
+            read += 1
+            kind, count, _, batch = head
+            if kind != _KIND_BATCH:
+                raise CorruptStorageError(
+                    "journal %s: record %d is not a batch header "
+                    "(kind %d)" % (self.path, read - 1, kind))
+            batch_events = []
+            complete = True
+            for _ in range(count):
+                record = self._read_record(read)
+                if record is None:
+                    complete = False
+                    break
+                read += 1
+                event_kind, u, v, event_batch = record
+                if event_kind not in _KIND_TO_OP or event_batch != batch:
+                    raise CorruptStorageError(
+                        "journal %s: record %d does not belong to "
+                        "batch %d" % (self.path, read - 1, batch))
+                batch_events.append((batch, _KIND_TO_OP[event_kind], u, v))
+            if not complete:
+                break
+            events.extend(batch_events)
+            position += RECORD_SIZE * (count + 1)
+        # Anything past the last complete batch is a torn append of a
+        # batch that was never acknowledged: drop it.
+        if self._handle.seek(0, os.SEEK_END) != position:
+            self._handle.seek(position)
+            self._handle.truncate()
+            self._sync()
+        return events, position
+
+    def __repr__(self):
+        return "EventJournal(%r, events=%d)" % (self.path, self.num_events)

@@ -161,6 +161,19 @@ class GraphStorage:
         return self.num_arcs // 2
 
     @property
+    def path(self):
+        """Path prefix of file-backed tables, or None for in-memory ones.
+
+        Services record this in their manifests so a checkpointed data
+        directory can reopen its seed graph without the caller passing
+        the storage again.
+        """
+        node_path = getattr(self._nodes, "path", None)
+        if node_path is not None and node_path.endswith(NODE_SUFFIX):
+            return node_path[: -len(NODE_SUFFIX)]
+        return None
+
+    @property
     def io_stats(self):
         """Combined I/O counters of the node and edge tables."""
         return self._nodes.stats

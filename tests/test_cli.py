@@ -112,6 +112,49 @@ class TestGenerate:
                   "--output", str(tmp_path / "x")])
 
 
+class TestServe:
+    def test_query_only_workload(self, converted_graph, capsys):
+        assert main(["serve", "--graph", converted_graph,
+                     "--queries", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "queries/sec" in out
+        assert "cache hit rate" in out
+        assert "read I/Os per 1k queries" in out
+
+    def test_updates_bump_epoch(self, converted_graph, capsys):
+        assert main(["serve", "--graph", converted_graph,
+                     "--queries", "40", "--updates", "6",
+                     "--batch-size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out
+        assert "| 2" in out  # 6 events in batches of 3 -> epoch 2
+
+    def test_data_dir_checkpoint_and_resume(self, converted_graph,
+                                            tmp_path, capsys):
+        data_dir = str(tmp_path / "svc")
+        assert main(["serve", "--graph", converted_graph,
+                     "--queries", "30", "--updates", "4",
+                     "--data-dir", data_dir]) == 0
+        assert "checkpointed" in capsys.readouterr().out
+        assert main(["serve", "--graph", converted_graph,
+                     "--queries", "10", "--data-dir", data_dir]) == 0
+        assert "resumed service" in capsys.readouterr().out
+
+    def test_numpy_engine(self, converted_graph, capsys):
+        pytest.importorskip("numpy")
+        assert main(["serve", "--graph", converted_graph,
+                     "--queries", "30", "--engine", "numpy"]) == 0
+        assert "queries/sec" in capsys.readouterr().out
+
+    def test_bad_arguments_exit_cleanly(self, converted_graph, capsys):
+        assert main(["serve", "--graph", converted_graph,
+                     "--batch-size", "0"]) == 1
+        assert "error" in capsys.readouterr().err
+        assert main(["serve", "--graph", converted_graph,
+                     "--cache-capacity", "-1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestVerify:
     def test_clean_graph(self, converted_graph, capsys):
         assert main(["verify", "--graph", converted_graph]) == 0
@@ -161,3 +204,30 @@ class TestReport:
 
     def test_empty_directory_fails(self, tmp_path, capsys):
         assert main(["report", "--results", str(tmp_path)]) == 1
+
+    def test_service_rows_get_a_summary_line(self, tmp_path, capsys):
+        from repro.bench.reporting import save_results
+        save_results(tmp_path / "svc.json", {
+            "figure": "Service throughput (demo)", "scale": 1.0,
+            "rows": [
+                {"engine": "python", "mode": "cached", "qps": "9000",
+                 "_qps": 9000.0, "_hit_rate": 0.85,
+                 "_read_ios_per_1k_queries": 12.0},
+                {"engine": "python", "mode": "uncached", "qps": "800",
+                 "_qps": 800.0, "_hit_rate": 0.0,
+                 "_read_ios_per_1k_queries": 900.0},
+            ],
+        })
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "service: peak" in out
+        assert "85.0%" in out
+
+    def test_non_service_rows_get_no_summary(self, tmp_path, capsys):
+        from repro.bench.reporting import save_results
+        save_results(tmp_path / "fig.json", {
+            "figure": "Fig X", "scale": 1.0,
+            "rows": [{"dataset": "dblp", "_seconds": 1.0}],
+        })
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        assert "service:" not in capsys.readouterr().out

@@ -37,6 +37,13 @@ class TestExamples:
         assert proc.returncode == 0, proc.stderr
         assert "incremental cores verified" in proc.stdout
 
+    def test_core_service_demo(self):
+        proc = run_example("core_service_demo.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "queries/sec" in proc.stdout
+        assert "journal replay reproduced" in proc.stdout
+        assert "recovered and verified" in proc.stdout
+
     def test_webscale_simulation(self):
         proc = run_example("webscale_simulation.py",
                            env_extra={"REPRO_EXAMPLE_SCALE": "0.05"})

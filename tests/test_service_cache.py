@@ -1,0 +1,124 @@
+"""Tests for the service LRU cache and its invalidation rule."""
+
+import pytest
+
+from repro.service.cache import CacheStats, ServiceCache
+
+
+class TestLRU:
+    def test_read_through_protocol(self):
+        cache = ServiceCache(4)
+        hit, value = cache.get(("coreness", 1))
+        assert not hit and value is None
+        cache.put(("coreness", 1), 7, epoch=0)
+        hit, value = cache.get(("coreness", 1))
+        assert hit and value == 7
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ServiceCache(2)
+        cache.put(("coreness", 1), 1, epoch=0)
+        cache.put(("coreness", 2), 2, epoch=0)
+        cache.get(("coreness", 1))          # 2 becomes LRU
+        cache.put(("coreness", 3), 3, epoch=0)
+        assert ("coreness", 1) in cache
+        assert ("coreness", 2) not in cache
+        assert ("coreness", 3) in cache
+        assert cache.stats.evictions == 1
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ServiceCache(0)
+        cache.put(("coreness", 1), 1, epoch=0)
+        assert len(cache) == 0
+        hit, _ = cache.get(("coreness", 1))
+        assert not hit
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceCache(-1)
+
+    def test_entry_epoch(self):
+        cache = ServiceCache(4)
+        cache.put(("degeneracy",), 3, epoch=5)
+        assert cache.entry_epoch(("degeneracy",)) == 5
+        assert cache.entry_epoch(("histogram",)) is None
+
+    def test_clear_counts_invalidations(self):
+        cache = ServiceCache(4)
+        cache.put(("coreness", 1), 1, epoch=0)
+        cache.put(("coreness", 2), 2, epoch=0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+
+class TestInvalidationRule:
+    def fill(self):
+        cache = ServiceCache(64)
+        cache.put(("coreness", 1), 2, epoch=0)
+        cache.put(("coreness", 5), 3, epoch=0)
+        cache.put(("members", 2), (1, 2, 3), epoch=0)
+        cache.put(("members", 4), (1,), epoch=0)
+        cache.put(("subgraph", 2), ((1, 2),), epoch=0)
+        cache.put(("subgraph", 4), (), epoch=0)
+        cache.put(("histogram",), ((1, 4),), epoch=0)
+        cache.put(("degeneracy",), 4, epoch=0)
+        cache.put(("top", 3), ((1, 4),), epoch=0)
+        return cache
+
+    def test_core_change_evicts_selectively(self):
+        cache = self.fill()
+        evicted = cache.invalidate(changed_nodes=[1], max_core_touched=3)
+        # Changed node's coreness entry dies; the untouched node's lives.
+        assert ("coreness", 1) not in cache
+        assert ("coreness", 5) in cache
+        # Threshold entries at or below the touched coreness die ...
+        assert ("members", 2) not in cache
+        assert ("subgraph", 2) not in cache
+        # ... deeper thresholds survive.
+        assert ("members", 4) in cache
+        assert ("subgraph", 4) in cache
+        # Aggregates always die when any value changed.
+        assert ("histogram",) not in cache
+        assert ("degeneracy",) not in cache
+        assert ("top", 3) not in cache
+        assert evicted == 6
+        assert cache.stats.invalidations == 6
+
+    def test_edge_only_batch_touches_only_subgraphs(self):
+        cache = self.fill()
+        # No core numbers changed; an edge landed between cores >= 2.
+        cache.invalidate(changed_nodes=(), max_core_touched=2)
+        assert ("subgraph", 2) not in cache
+        assert ("subgraph", 4) in cache
+        # Everything core-valued is provably unaffected.
+        assert ("coreness", 1) in cache
+        assert ("members", 2) in cache
+        assert ("histogram",) in cache
+        assert ("degeneracy",) in cache
+        assert ("top", 3) in cache
+
+    def test_unknown_kinds_always_evicted(self):
+        cache = ServiceCache(8)
+        cache.put(("mystery", 1), "x", epoch=0)
+        cache.invalidate(changed_nodes=(), max_core_touched=0)
+        assert ("mystery", 1) not in cache
+
+
+class TestStats:
+    def test_as_dict(self):
+        stats = CacheStats()
+        stats.hits = 3
+        stats.misses = 1
+        payload = stats.as_dict()
+        assert payload["hits"] == 3
+        assert payload["hit_rate"] == 0.75
+
+    def test_empty_hit_rate(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_repr(self):
+        assert "hits=0" in repr(CacheStats())
+        assert "capacity=4" in repr(ServiceCache(4))

@@ -1,0 +1,138 @@
+"""Tests for the write-ahead event journal."""
+
+import pytest
+
+from repro.errors import CorruptStorageError
+from repro.service.journal import RECORD_SIZE, EventJournal
+
+
+def journal_path(tmp_path):
+    return tmp_path / "journal.log"
+
+
+class TestRoundtrip:
+    def test_append_and_read(self, tmp_path):
+        journal = EventJournal(journal_path(tmp_path))
+        journal.append([("+", 1, 2), ("-", 3, 4)], batch=1)
+        journal.append([("+", 5, 6)], batch=2)
+        assert journal.num_events == 3
+        assert journal.events() == [(1, "+", 1, 2), (1, "-", 3, 4),
+                                    (2, "+", 5, 6)]
+        journal.close()
+
+    def test_reopen_recovers_events(self, tmp_path):
+        path = journal_path(tmp_path)
+        with EventJournal(path) as journal:
+            journal.append([("+", 1, 2)], batch=1)
+        with EventJournal(path) as journal:
+            assert journal.events() == [(1, "+", 1, 2)]
+            journal.append([("-", 1, 2)], batch=2)
+        with EventJournal(path) as journal:
+            assert journal.num_events == 2
+
+    def test_batches_grouping(self, tmp_path):
+        journal = EventJournal(journal_path(tmp_path))
+        journal.append([("+", 1, 2), ("+", 3, 4)], batch=1)
+        journal.append([("-", 1, 2)], batch=2)
+        assert journal.batches() == [
+            (1, [("+", 1, 2), ("+", 3, 4)]),
+            (2, [("-", 1, 2)]),
+        ]
+        assert journal.batches(2) == [(2, [("-", 1, 2)])]
+        journal.close()
+
+    def test_empty_append_writes_nothing(self, tmp_path):
+        journal = EventJournal(journal_path(tmp_path))
+        journal.append([], batch=1)
+        assert journal.num_events == 0
+        journal.close()
+
+    def test_events_offset(self, tmp_path):
+        journal = EventJournal(journal_path(tmp_path))
+        journal.append([("+", 1, 2), ("-", 3, 4), ("+", 5, 6)], batch=1)
+        assert journal.events(2) == [(1, "+", 5, 6)]
+        journal.close()
+
+
+class TestCrashTolerance:
+    def test_partial_record_drops_whole_batch(self, tmp_path):
+        """A crash mid-append drops the entire unacknowledged batch."""
+        path = journal_path(tmp_path)
+        with EventJournal(path) as journal:
+            journal.append([("+", 9, 10)], batch=1)
+            journal.append([("+", 1, 2), ("-", 3, 4)], batch=2)
+        data = path.read_bytes()
+        path.write_bytes(data[:-(RECORD_SIZE // 2)])
+        with EventJournal(path) as journal:
+            # Batch 2 was torn: it never happened.  Batch 1 survives.
+            assert journal.events() == [(1, "+", 9, 10)]
+            journal.append([("+", 7, 8)], batch=2)
+        with EventJournal(path) as journal:
+            assert journal.events() == [(1, "+", 9, 10), (2, "+", 7, 8)]
+
+    def test_torn_write_at_record_boundary_drops_batch(self, tmp_path):
+        """A torn append ending exactly on a record boundary must NOT
+        replay as a truncated batch -- batches are all-or-nothing."""
+        path = journal_path(tmp_path)
+        with EventJournal(path) as journal:
+            journal.append([("+", 9, 10)], batch=1)
+            journal.append([("+", 1, 2), ("-", 3, 4), ("+", 5, 6)],
+                           batch=2)
+        data = path.read_bytes()
+        path.write_bytes(data[:-RECORD_SIZE])  # lose 1 of 3 records
+        with EventJournal(path) as journal:
+            assert journal.events() == [(1, "+", 9, 10)]
+
+    def test_header_only_batch_dropped(self, tmp_path):
+        """A batch header with none of its records is a torn append."""
+        path = journal_path(tmp_path)
+        with EventJournal(path) as journal:
+            journal.append([("+", 1, 2), ("-", 3, 4)], batch=1)
+        data = path.read_bytes()
+        path.write_bytes(data[:-2 * RECORD_SIZE])
+        with EventJournal(path) as journal:
+            assert journal.events() == []
+
+    def test_corrupted_tail_rejected(self, tmp_path):
+        """A bit-flipped complete record is corruption, not a crash."""
+        path = journal_path(tmp_path)
+        with EventJournal(path) as journal:
+            journal.append([("+", 1, 2), ("-", 3, 4)], batch=1)
+        data = bytearray(path.read_bytes())
+        data[-RECORD_SIZE + 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptStorageError, match="checksum"):
+            EventJournal(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = journal_path(tmp_path)
+        path.write_bytes(b"NOTAJRNL" + b"\x00" * 8)
+        with pytest.raises(CorruptStorageError, match="magic"):
+            EventJournal(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = journal_path(tmp_path)
+        path.write_bytes(b"\x00" * 4)
+        with pytest.raises(CorruptStorageError, match="header"):
+            EventJournal(path)
+
+    def test_empty_file_reinitialized(self, tmp_path):
+        """Crash between create and header write: nothing was journaled."""
+        path = journal_path(tmp_path)
+        path.write_bytes(b"")
+        with EventJournal(path) as journal:
+            assert journal.num_events == 0
+            journal.append([("+", 1, 2)], batch=1)
+        with EventJournal(path) as journal:
+            assert journal.events() == [(1, "+", 1, 2)]
+
+    def test_append_after_close_rejected(self, tmp_path):
+        journal = EventJournal(journal_path(tmp_path))
+        journal.close()
+        with pytest.raises(CorruptStorageError, match="closed"):
+            journal.append([("+", 1, 2)], batch=1)
+
+    def test_repr(self, tmp_path):
+        journal = EventJournal(journal_path(tmp_path))
+        assert "events=0" in repr(journal)
+        journal.close()

@@ -1,0 +1,295 @@
+"""Crash-recovery tests: checkpoint + journal replay.
+
+The contract (ISSUE acceptance): a service killed mid-batch and resumed
+with :meth:`CoreService.open` must reproduce the *straight-through*
+run's maintained state exactly -- ``core``, ``cnt`` and the epoch --
+under both execution engines.  A batch counts as applied the moment its
+journal append returns; the crash window between append and the index
+update is exactly what replay covers.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.engines import available_engines
+from repro.errors import CorruptStorageError, ReproError
+from repro.service import CoreService
+from repro.service.journal import RECORD_SIZE, EventJournal
+from repro.service.workload import generate_updates, in_batches
+from repro.storage.graphstore import GraphStorage
+
+ENGINES = ["python"] + (["numpy"] if "numpy" in available_engines()
+                        else [])
+
+
+class SimulatedCrash(Exception):
+    pass
+
+
+def graph_edges():
+    from repro.datasets.generators import social_graph
+
+    return social_graph(200, attach=3, clique=8, seed=11)
+
+
+def update_batches(edges, n, count=28, batch=7):
+    return in_batches(generate_updates(edges, n, count, seed=17), batch)
+
+
+def straight_through(edges, n, batches, engine=None):
+    """The reference run: every batch applied, no crash, no journal."""
+    service = CoreService.from_storage(GraphStorage.from_edges(edges, n),
+                                       engine=engine)
+    for events in batches:
+        service.apply(events)
+    return service
+
+
+def state_of(service):
+    return (list(service.maintainer.cores), list(service.maintainer.cnt),
+            service.epoch, service.events_applied)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestKillAndResume:
+    def test_crash_between_journal_and_apply(self, tmp_path, engine):
+        """Killed after the append: replay must still apply the batch."""
+        edges, n = graph_edges()
+        batches = update_batches(edges, n)
+        data_dir = tmp_path / "svc"
+        service = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n), engine=engine,
+            data_dir=data_dir, checkpoint_interval=2)
+        for events in batches[:-1]:
+            service.apply(events)
+
+        def crash():
+            raise SimulatedCrash
+
+        service._crash_after_journal = crash
+        with pytest.raises(SimulatedCrash):
+            service.apply(batches[-1])
+        service.close()
+
+        resumed = CoreService.open(data_dir,
+                                   GraphStorage.from_edges(edges, n),
+                                   engine=engine)
+        reference = straight_through(edges, n, batches, engine=engine)
+        assert state_of(resumed) == state_of(reference)
+        assert resumed.verify()
+
+    def test_crash_with_unjournaled_batch(self, tmp_path, engine):
+        """A batch that never reached the journal is simply lost."""
+        edges, n = graph_edges()
+        batches = update_batches(edges, n)
+        data_dir = tmp_path / "svc"
+        service = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n), engine=engine,
+            data_dir=data_dir, checkpoint_interval=None)
+        for events in batches[:2]:
+            service.apply(events)
+        service.close()  # crash before batches[2] is even submitted
+
+        resumed = CoreService.open(data_dir,
+                                   GraphStorage.from_edges(edges, n),
+                                   engine=engine)
+        reference = straight_through(edges, n, batches[:2], engine=engine)
+        assert state_of(resumed) == state_of(reference)
+
+    def test_resume_continues_the_stream(self, tmp_path, engine):
+        """Apply the tail after resume: end state equals straight-through."""
+        edges, n = graph_edges()
+        batches = update_batches(edges, n)
+        data_dir = tmp_path / "svc"
+        service = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n), engine=engine,
+            data_dir=data_dir, checkpoint_interval=1)
+        for events in batches[:2]:
+            service.apply(events)
+        service.close()
+
+        resumed = CoreService.open(data_dir,
+                                   GraphStorage.from_edges(edges, n),
+                                   engine=engine, checkpoint_interval=1)
+        for events in batches[2:]:
+            resumed.apply(events)
+        reference = straight_through(edges, n, batches, engine=engine)
+        assert state_of(resumed) == state_of(reference)
+        assert resumed.verify()
+
+
+@pytest.mark.skipif("numpy" not in available_engines(),
+                    reason="numpy engine unavailable")
+class TestCrossEngineResume:
+    def test_journal_written_by_python_resumed_by_numpy(self, tmp_path):
+        edges, n = graph_edges()
+        batches = update_batches(edges, n)
+        data_dir = tmp_path / "svc"
+        service = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n), engine="python",
+            data_dir=data_dir, checkpoint_interval=2)
+        for events in batches:
+            service.apply(events)
+        service.close()
+
+        resumed = CoreService.open(data_dir,
+                                   GraphStorage.from_edges(edges, n),
+                                   engine="numpy")
+        reference = straight_through(edges, n, batches, engine="python")
+        assert state_of(resumed) == state_of(reference)
+
+
+class TestRejection:
+    def test_corrupted_journal_tail_rejected_at_open(self, tmp_path):
+        edges, n = graph_edges()
+        batches = update_batches(edges, n)
+        data_dir = tmp_path / "svc"
+        service = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n), data_dir=data_dir,
+            checkpoint_interval=None)
+        for events in batches[:2]:
+            service.apply(events)
+        service.close()
+
+        journal_file = data_dir / "journal.log"
+        data = bytearray(journal_file.read_bytes())
+        data[-RECORD_SIZE + 1] ^= 0xFF
+        journal_file.write_bytes(bytes(data))
+        with pytest.raises(CorruptStorageError, match="checksum"):
+            CoreService.open(data_dir, GraphStorage.from_edges(edges, n))
+
+    def test_journal_shorter_than_checkpoint_rejected(self, tmp_path):
+        edges, n = graph_edges()
+        batches = update_batches(edges, n)
+        data_dir = tmp_path / "svc"
+        service = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n), data_dir=data_dir,
+            checkpoint_interval=1)
+        for events in batches[:2]:
+            service.apply(events)
+        service.close()
+
+        # Chop a full batch off the journal: the checkpoint now covers
+        # more events than the journal holds.
+        journal_file = data_dir / "journal.log"
+        data = journal_file.read_bytes()
+        journal_file.write_bytes(
+            data[:len(data) - RECORD_SIZE * len(batches[1])])
+        with pytest.raises(CorruptStorageError, match="covers"):
+            CoreService.open(data_dir, GraphStorage.from_edges(edges, n))
+
+    def test_open_without_manifest_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="manifest"):
+            CoreService.open(tmp_path)
+
+    def test_reseeding_initialized_dir_rejected(self, tmp_path):
+        edges, n = graph_edges()
+        data_dir = tmp_path / "svc"
+        service = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n), data_dir=data_dir)
+        service.close()
+        with pytest.raises(ReproError, match="already initialized"):
+            CoreService.from_storage(GraphStorage.from_edges(edges, n),
+                                     data_dir=data_dir)
+
+    def test_checkpoint_against_wrong_graph_rejected(self, tmp_path):
+        edges, n = graph_edges()
+        data_dir = tmp_path / "svc"
+        service = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n), data_dir=data_dir)
+        service.close()
+        with pytest.raises(CorruptStorageError):
+            CoreService.open(data_dir,
+                             GraphStorage.from_edges(edges[: n // 2], n))
+
+
+_CHILD_SCRIPT = """
+import os, sys
+from repro.service import CoreService
+from repro.service.workload import generate_updates, in_batches
+from repro.storage.graphstore import GraphStorage
+from repro.datasets.generators import social_graph
+
+prefix, data_dir = sys.argv[1], sys.argv[2]
+edges, n = social_graph(200, attach=3, clique=8, seed=11)
+storage = GraphStorage.open(prefix)
+service = CoreService.from_storage(storage, data_dir=data_dir,
+                                   checkpoint_interval=2)
+batches = in_batches(generate_updates(edges, n, 28, seed=17), 7)
+for events in batches[:-1]:
+    service.apply(events)
+service._crash_after_journal = lambda: os._exit(17)
+service.apply(batches[-1])
+os._exit(1)  # unreachable: the hook killed the process mid-batch
+"""
+
+
+class TestStorageOwnership:
+    def test_self_opened_storage_closed_on_close_and_failure(self,
+                                                             tmp_path):
+        edges, n = graph_edges()
+        prefix = str(tmp_path / "graph")
+        GraphStorage.from_edges(edges, n, path=prefix).close()
+        data_dir = tmp_path / "svc"
+        seed_storage = GraphStorage.open(prefix)
+        service = CoreService.from_storage(seed_storage, data_dir=data_dir)
+        service.apply(update_batches(edges, n)[0])
+        service.close()
+        # Caller-provided storage stays the caller's to close.
+        assert not seed_storage.node_device.closed
+        seed_storage.close()
+
+        # open() without storage reopens from the manifest and owns it.
+        resumed = CoreService.open(data_dir)
+        storage = resumed._owned_storage
+        assert storage is not None
+        resumed.close()
+        assert storage.node_device.closed
+
+        # A failed open() must not leak the storage it just opened.
+        journal_file = data_dir / "journal.log"
+        data = bytearray(journal_file.read_bytes())
+        data[-RECORD_SIZE + 1] ^= 0xFF
+        journal_file.write_bytes(bytes(data))
+        import gc
+
+        with pytest.raises(CorruptStorageError):
+            CoreService.open(data_dir)
+        leaked = [obj for obj in gc.get_objects()
+                  if isinstance(obj, GraphStorage)
+                  and obj.path == prefix
+                  and not obj.node_device.closed]
+        assert not leaked, "open() leaked an unclosed self-opened storage"
+
+
+class TestKillProcess:
+    def test_hard_kill_mid_batch(self, tmp_path):
+        """A real ``os._exit`` mid-batch, recovered in this process."""
+        edges, n = graph_edges()
+        prefix = str(tmp_path / "graph")
+        GraphStorage.from_edges(edges, n, path=prefix).close()
+        data_dir = str(tmp_path / "svc")
+        script = tmp_path / "crash_child.py"
+        script.write_text(_CHILD_SCRIPT)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, str(script), prefix, data_dir],
+            capture_output=True, text=True, env=env, timeout=240)
+        assert proc.returncode == 17, proc.stderr
+
+        # The dead service's journal covers every batch (the append of
+        # the last one completed before the kill).
+        with EventJournal(os.path.join(data_dir, "journal.log")) as jrn:
+            assert len(jrn.batches()) == 4
+
+        resumed = CoreService.open(data_dir)
+        batches = update_batches(edges, n)
+        reference = straight_through(edges, n, batches)
+        assert state_of(resumed) == state_of(reference)
+        assert resumed.verify()

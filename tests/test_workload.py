@@ -1,0 +1,128 @@
+"""Tests for the deterministic service workload generator."""
+
+import pytest
+
+from repro.datasets.generators import social_graph
+from repro.service import CoreService
+from repro.service.workload import (
+    ZipfianSampler,
+    execute_query,
+    generate_queries,
+    generate_updates,
+    in_batches,
+    percentile,
+    run_mixed_workload,
+)
+from repro.storage.graphstore import GraphStorage
+
+
+class TestZipfianSampler:
+    def test_skews_toward_low_ranks(self):
+        import random
+
+        sampler = ZipfianSampler(100, s=1.1)
+        rng = random.Random(0)
+        draws = [sampler.sample(rng) for _ in range(2000)]
+        assert draws.count(0) > draws.count(50) * 5
+        assert all(0 <= rank < 100 for rank in draws)
+
+    def test_single_rank(self):
+        import random
+
+        sampler = ZipfianSampler(1)
+        assert sampler.sample(random.Random(1)) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfianSampler(0)
+
+
+class TestGenerateQueries:
+    def test_deterministic_in_seed(self):
+        a = generate_queries(100, 10, 50, seed=3)
+        b = generate_queries(100, 10, 50, seed=3)
+        c = generate_queries(100, 10, 50, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_thresholds_in_range(self):
+        queries = generate_queries(100, 10, 300, seed=1)
+        for query in queries:
+            if query[0] in ("members", "subgraph"):
+                assert 1 <= query[1] <= 10
+            elif query[0] == "coreness":
+                assert 0 <= query[1] < 100
+
+    def test_max_depth_bounds_thresholds(self):
+        queries = generate_queries(100, 20, 300, seed=1, max_depth=4)
+        for query in queries:
+            if query[0] in ("members", "subgraph"):
+                assert query[1] >= 17  # kmax - (max_depth - 1)
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError):
+            generate_queries(10, 3, 5, mix=(("nonsense", 1.0),))
+
+
+class TestGenerateUpdates:
+    def test_deterministic_and_applicable(self):
+        edges, n = social_graph(120, attach=2, clique=6, seed=9)
+        a = generate_updates(edges, n, 40, seed=5)
+        b = generate_updates(edges, n, 40, seed=5)
+        assert a == b
+        present = {(u, v) if u < v else (v, u) for u, v in edges}
+        for op, u, v in a:
+            edge = (u, v) if u < v else (v, u)
+            if op == "+":
+                assert edge not in present
+                present.add(edge)
+            else:
+                assert edge in present
+                present.discard(edge)
+
+    def test_stream_applies_cleanly(self):
+        edges, n = social_graph(120, attach=2, clique=6, seed=9)
+        service = CoreService.from_storage(GraphStorage.from_edges(edges, n))
+        for batch in in_batches(generate_updates(edges, n, 30, seed=2), 10):
+            service.apply(batch)
+        assert service.verify()
+
+
+class TestHelpers:
+    def test_in_batches(self):
+        events = [("+", 0, i) for i in range(1, 8)]
+        batches = in_batches(events, 3)
+        assert [len(batch) for batch in batches] == [3, 3, 1]
+        assert sum(batches, []) == events
+        with pytest.raises(ValueError):
+            in_batches(events, 0)
+
+    def test_percentile(self):
+        assert percentile([], 0.5) == 0.0
+        values = list(range(100))
+        assert percentile(values, 0.5) == 50
+        assert percentile(values, 0.99) == 99
+
+    def test_execute_query_rejects_unknown(self):
+        edges, n = social_graph(60, attach=2, clique=5, seed=1)
+        service = CoreService.from_storage(GraphStorage.from_edges(edges, n))
+        with pytest.raises(ValueError):
+            execute_query(service, ("nonsense",))
+
+
+class TestMixedWorkload:
+    def test_metrics_shape_and_epochs(self):
+        edges, n = social_graph(150, attach=2, clique=6, seed=3)
+        service = CoreService.from_storage(GraphStorage.from_edges(edges, n))
+        queries = generate_queries(n, service.degeneracy(), 120, seed=6)
+        batches = in_batches(generate_updates(edges, n, 12, seed=7), 6)
+        metrics = run_mixed_workload(service, queries, batches)
+        assert metrics["queries"] == 120
+        assert metrics["updates"] == 12
+        assert metrics["epoch"] == 2
+        assert len(metrics["results"]) == 120
+        assert metrics["qps"] > 0
+        assert 0.0 <= metrics["hit_rate"] <= 1.0
+        assert metrics["p99_seconds"] >= metrics["p50_seconds"] >= 0.0
+        assert metrics["read_ios_per_1k_queries"] >= 0.0
+        assert service.verify()
