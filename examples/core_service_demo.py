@@ -64,6 +64,12 @@ def main():
         assert resumed.verify()
         print("restart: checkpoint + journal replay reproduced epoch %d"
               " exactly" % resumed.epoch)
+        jstats = resumed.journal.stats()
+        print("journal after compaction: %d live segment(s), %d of %d"
+              " events on disk (%d bytes) -- the replay prefix stays"
+              " bounded by the checkpoint interval"
+              % (jstats["segments"], jstats["retained_events"],
+                 jstats["total_events"], jstats["disk_bytes"]))
         hot = resumed.top_k(3)
         print("hottest users after recovery: %s"
               % ", ".join("v%d (core %d)" % pair for pair in hot))

@@ -133,6 +133,7 @@ def _cmd_maintain(args):
 def _cmd_serve(args):
     from repro.service import (
         CoreService,
+        DEFAULT_SEGMENT_EVENTS,
         generate_queries,
         generate_updates,
         in_batches,
@@ -147,18 +148,25 @@ def _cmd_serve(args):
                          % args.cache_capacity)
     if args.queries < 0 or args.updates < 0:
         raise ReproError("--queries and --updates must be >= 0")
+    if args.segment_events is None:
+        args.segment_events = DEFAULT_SEGMENT_EVENTS
+    elif args.segment_events < 1:
+        raise ReproError("--segment-events must be positive, got %d"
+                         % args.segment_events)
     storage = GraphStorage.open(args.graph)
     if args.data_dir and os.path.exists(
             os.path.join(args.data_dir, "manifest.json")):
         service = CoreService.open(args.data_dir, storage,
                                    engine=args.engine,
-                                   cache_capacity=args.cache_capacity)
+                                   cache_capacity=args.cache_capacity,
+                                   segment_events=args.segment_events)
         print("resumed service from %s at epoch %d"
               % (args.data_dir, service.epoch))
     else:
         service = CoreService.from_storage(
             storage, algorithm=args.algorithm, engine=args.engine,
-            cache_capacity=args.cache_capacity, data_dir=args.data_dir)
+            cache_capacity=args.cache_capacity, data_dir=args.data_dir,
+            segment_events=args.segment_events)
     kmax = service.degeneracy()
     queries = generate_queries(service.num_nodes, kmax, args.queries,
                                seed=args.seed)
@@ -179,11 +187,23 @@ def _cmd_serve(args):
          "%.1f" % metrics["read_ios_per_1k_queries"]),
         ("kmax", str(service.degeneracy())),
     ]
+    if service.journal is not None:
+        jstats = service.journal.stats()
+        rows += [
+            ("journal segments", str(jstats["segments"])),
+            ("journal events (disk/total)",
+             "%d/%d" % (jstats["retained_events"],
+                        jstats["total_events"])),
+            ("journal size", format_bytes(jstats["disk_bytes"])),
+        ]
     print(format_table(("metric", "value"), rows))
     if args.data_dir:
         service.checkpoint()
-        print("checkpointed to %s at epoch %d" % (args.data_dir,
-                                                  service.epoch))
+        jstats = service.journal.stats()
+        print("checkpointed to %s at epoch %d (journal: %d segment(s), "
+              "%s after compaction)"
+              % (args.data_dir, service.epoch, jstats["segments"],
+                 format_bytes(jstats["disk_bytes"])))
     service.close()
     storage.close()
     return 0
@@ -252,27 +272,47 @@ def _cmd_report(args):
 
 
 def _service_summary(rows):
-    """One-line digest of service-bench rows (qps / hit rate columns).
+    """One-line digest of service-bench rows under a reported table.
 
     The service throughput benchmark saves raw ``_qps`` / ``_hit_rate``
-    metrics per row; whenever a reported figure carries them, ``repro
-    report`` condenses the serving picture under the table.
+    metrics per row and the restart benchmark ``_restart_seconds`` /
+    ``_journal_disk_bytes``; whenever a reported figure carries either,
+    ``repro report`` condenses the serving picture under the table.
     """
     service_rows = [row for row in rows
                     if "_qps" in row or "_hit_rate" in row]
-    if not service_rows:
+    parts = []
+    if service_rows:
+        best_qps = max((row.get("_qps", 0.0) for row in service_rows),
+                       default=0.0)
+        hit_rates = [row["_hit_rate"] for row in service_rows
+                     if "_hit_rate" in row]
+        parts.append("service: peak %s queries/sec"
+                     % format_count(int(best_qps)))
+        if hit_rates:
+            parts.append("best cache hit rate %.1f%%"
+                         % (100.0 * max(hit_rates)))
+        io_rows = [row["_read_ios_per_1k_queries"] for row in service_rows
+                   if "_read_ios_per_1k_queries" in row]
+        if io_rows:
+            parts.append("min %.1f read I/Os per 1k queries"
+                         % min(io_rows))
+    restart_rows = [row for row in rows if "_restart_seconds" in row]
+    if restart_rows:
+        worst = max(row["_restart_seconds"] for row in restart_rows)
+        parts.append("restart: worst %s" % format_seconds(worst))
+        journal_bytes = [row["_journal_disk_bytes"] for row in restart_rows
+                         if "_journal_disk_bytes" in row]
+        if journal_bytes:
+            parts.append("journal dir <= %s"
+                         % format_bytes(max(journal_bytes)))
+        replayed = [row["_events_replayed"] for row in restart_rows
+                    if "_events_replayed" in row]
+        if replayed:
+            parts.append("<= %s events replayed"
+                         % format_count(int(max(replayed))))
+    if not parts:
         return None
-    best_qps = max((row.get("_qps", 0.0) for row in service_rows),
-                   default=0.0)
-    hit_rates = [row["_hit_rate"] for row in service_rows
-                 if "_hit_rate" in row]
-    parts = ["service: peak %s queries/sec" % format_count(int(best_qps))]
-    if hit_rates:
-        parts.append("best cache hit rate %.1f%%" % (100.0 * max(hit_rates)))
-    io_rows = [row["_read_ios_per_1k_queries"] for row in service_rows
-               if "_read_ios_per_1k_queries" in row]
-    if io_rows:
-        parts.append("min %.1f read I/Os per 1k queries" % min(io_rows))
     return "   " + ", ".join(parts)
 
 
@@ -347,6 +387,10 @@ def build_parser():
     p.add_argument("--data-dir",
                    help="journal + checkpoint directory (resumed when it "
                         "already holds a manifest)")
+    p.add_argument("--segment-events", type=int, default=None,
+                   help="events per journal segment before rotation "
+                        "(checkpoints also rotate; sealed segments "
+                        "covered by a checkpoint are compacted away)")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (same seed, same stream)")
     p.set_defaults(func=_cmd_serve)

@@ -7,15 +7,19 @@ Everything needed to *keep* a decomposition rather than just compute it:
 * :class:`~repro.service.cache.ServiceCache` /
   :class:`~repro.service.cache.CacheStats` -- the read-through LRU with
   epoch-based invalidation;
-* :class:`~repro.service.journal.EventJournal` -- the write-ahead
-  journal restarts replay from;
+* :class:`~repro.service.journal.EventJournal` -- the segmented
+  write-ahead journal restarts replay from (checkpoint-anchored
+  rotation + compaction keep its replay prefix bounded);
 * :mod:`~repro.service.workload` -- deterministic zipfian workloads for
   benchmarks and examples.
 """
 
 from repro.service.cache import CacheStats, ServiceCache
 from repro.service.core_service import CoreService
-from repro.service.journal import EventJournal
+from repro.service.journal import (
+    DEFAULT_SEGMENT_EVENTS,
+    EventJournal,
+)
 from repro.service.workload import (
     ZipfianSampler,
     execute_query,
@@ -31,6 +35,7 @@ __all__ = [
     "ServiceCache",
     "CacheStats",
     "EventJournal",
+    "DEFAULT_SEGMENT_EVENTS",
     "ZipfianSampler",
     "generate_queries",
     "generate_updates",

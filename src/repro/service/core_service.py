@@ -14,15 +14,22 @@ absorbing an edge-update stream.  The three moving parts:
   events (write-ahead), routes it through the maintenance algorithms of
   Section V (``engine=`` respected end-to-end), bumps the index *epoch*
   and evicts only the affected cache entries.
-* **durability** -- every ``checkpoint_interval`` batches the
-  ``core``/``cnt`` arrays are checkpointed via
-  :mod:`repro.core.maintenance.checkpoint` and a manifest records the
-  journal offset they are valid at.  :meth:`open` restarts by replaying
-  the pre-checkpoint journal prefix into the graph (cheap, no
-  maintenance), installing the checkpointed index, and re-running only
-  the journal *tail* through the maintenance algorithms -- reproducing
-  the straight-through state exactly (``tests/test_service_recovery.py``
-  kills a service mid-batch to prove it).
+* **durability** -- every ``checkpoint_interval`` batches the service
+  checkpoints the ``core``/``cnt`` arrays
+  (:mod:`repro.core.maintenance.checkpoint`) *plus* the net edge delta
+  of the graph against its seed tables, rotates the segmented journal
+  (:mod:`repro.service.journal`) and writes a manifest recording the
+  event watermark the pair is valid at; sealed journal segments fully
+  covered by the watermark are then compacted away.  :meth:`open`
+  restarts bounded: it rebuilds the graph from the seed tables plus
+  the checkpointed delta (no event replay), installs the checkpointed
+  index, and streams only the journal *tail* past the watermark
+  through the maintenance algorithms -- reproducing the
+  straight-through state exactly (``tests/test_service_recovery.py``
+  kills a service mid-batch, and mid-checkpoint, to prove it).  A data
+  directory written by the v1 single-file-journal code still opens
+  (full prefix replay, as before) and is migrated to the segmented
+  layout by its first checkpoint.
 """
 
 from __future__ import annotations
@@ -30,6 +37,8 @@ from __future__ import annotations
 import heapq
 import json
 import os
+import struct
+import zlib
 from array import array
 
 from repro.bench.harness import run_decomposition
@@ -44,17 +53,43 @@ from repro.errors import (
     ReproError,
 )
 from repro.service.cache import DEFAULT_CAPACITY, ServiceCache
-from repro.service.journal import EventJournal
+from repro.service.journal import (
+    DEFAULT_SEGMENT_EVENTS,
+    EventJournal,
+    fsync_path as _fsync_path,
+)
 from repro.storage.dynamic import DEFAULT_BUFFER_CAPACITY, DynamicGraph
 from repro.storage.graphstore import GraphStorage
 
 MANIFEST_NAME = "manifest.json"
+#: v1 fixed file names (still read when resuming a v1 data directory).
 CHECKPOINT_NAME = "state.ckpt"
 JOURNAL_NAME = "journal.log"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 
 #: Batches applied between automatic checkpoints (None disables them).
 DEFAULT_CHECKPOINT_INTERVAL = 16
+
+#: Net edge-delta file: magic, version, pair count; then one
+#: ``(kind, u, v)`` record per edge differing from the seed tables,
+#: sorted, followed by a CRC32 of the record bytes.
+_DELTA_MAGIC = b"RPRDELT1"
+_DELTA_VERSION = 1
+_DELTA_HEADER = struct.Struct("<8sIQ4x")
+_DELTA_RECORD = struct.Struct("<BII")
+_DELTA_CRC = struct.Struct("<I")
+_DELTA_OPS = {"+": 0, "-": 1}
+_DELTA_KINDS = {0: "+", 1: "-"}
+
+
+def _checkpoint_file(epoch):
+    """Checkpoint file name of ``epoch`` (the manifest points at one)."""
+    return "state.%d.ckpt" % epoch
+
+
+def _delta_file(epoch):
+    """Edge-delta file name of ``epoch``."""
+    return "graph.%d.delta" % epoch
 
 
 class CoreService:
@@ -70,7 +105,7 @@ class CoreService:
                  journal=None, data_dir=None,
                  checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
                  insert_algorithm="star", epoch=0, events_applied=0,
-                 graph_path=None, seed_algorithm=None):
+                 graph_path=None, seed_algorithm=None, edge_delta=None):
         self._maintainer = maintainer
         self._cache = ServiceCache(cache_capacity)
         self._journal = journal
@@ -84,13 +119,25 @@ class CoreService:
         self._seed_algorithm = seed_algorithm
         self._last_checkpoint_epoch = epoch
         self._queries_served = 0
+        #: Net difference of the graph's edge set against its *seed*
+        #: tables: ``(u, v) -> "+"/"-"`` with ``u < v``.  Checkpointed
+        #: next to ``core``/``cnt`` so restarts rebuild the graph
+        #: without replaying the (compacted) journal prefix.  Bounded
+        #: by the real state divergence, not by traffic: an insert and
+        #: its later deletion cancel.
+        self._edge_delta = dict(edge_delta) if edge_delta else {}
         #: Storage this service opened itself (via a manifest graph
         #: path) and therefore must close; caller-provided storage
         #: stays the caller's.
         self._owned_storage = None
-        #: Test-only crash-injection point: called after the journal
-        #: append succeeds but before the batch touches the index.
+        #: Test-only crash-injection points: after the journal append
+        #: but before the batch touches the index; after the checkpoint
+        #: rotated the journal but before the manifest is written; and
+        #: after the manifest is written but before compaction unlinks
+        #: covered segments.
         self._crash_after_journal = None
+        self._crash_after_rotate = None
+        self._crash_before_compact = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -101,7 +148,8 @@ class CoreService:
                      buffer_capacity=DEFAULT_BUFFER_CAPACITY,
                      path_factory=None,
                      checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
-                     insert_algorithm="star"):
+                     insert_algorithm="star",
+                     segment_events=DEFAULT_SEGMENT_EVENTS):
         """Seed a service over on-disk (or in-memory) graph tables.
 
         ``algorithm`` picks any decomposition algorithm for the seeding
@@ -117,6 +165,7 @@ class CoreService:
             cache_capacity=cache_capacity, data_dir=data_dir,
             checkpoint_interval=checkpoint_interval,
             insert_algorithm=insert_algorithm,
+            segment_events=segment_events,
             graph_path=getattr(storage, "path", None),
         )
 
@@ -124,7 +173,8 @@ class CoreService:
     def from_graph(cls, graph, *, algorithm="semicore*", engine=None,
                    cache_capacity=DEFAULT_CAPACITY, data_dir=None,
                    checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
-                   insert_algorithm="star", graph_path=None):
+                   insert_algorithm="star", graph_path=None,
+                   segment_events=DEFAULT_SEGMENT_EVENTS):
         """Seed a service over any mutable graph with the read protocol."""
         result = run_decomposition(algorithm, graph, engine=engine)
         cores = array("i", result.cores)
@@ -141,7 +191,7 @@ class CoreService:
                     "data directory %s is already initialized; resume it "
                     "with CoreService.open instead of reseeding" % data_dir)
             os.makedirs(data_dir, exist_ok=True)
-            journal = EventJournal(os.path.join(data_dir, JOURNAL_NAME))
+            journal = EventJournal(data_dir, segment_events=segment_events)
         service = cls(maintainer, cache_capacity=cache_capacity,
                       journal=journal, data_dir=data_dir,
                       checkpoint_interval=checkpoint_interval,
@@ -157,18 +207,25 @@ class CoreService:
              cache_capacity=DEFAULT_CAPACITY,
              buffer_capacity=DEFAULT_BUFFER_CAPACITY, path_factory=None,
              checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
-             insert_algorithm="star"):
+             insert_algorithm="star",
+             segment_events=DEFAULT_SEGMENT_EVENTS):
         """Resume a service from its checkpointed data directory.
 
         ``storage`` must be the *seed* graph tables the service was
         created over (pristine -- the service never mutates them in
         place); when omitted, the path recorded in the manifest is
-        reopened.  Restart replays the journal prefix covered by the
-        checkpoint into the graph only, then re-runs the journal tail
-        through the maintenance algorithms, so the resumed ``core``,
-        ``cnt`` and epoch equal a straight-through run's.  A corrupted
-        journal tail raises :class:`~repro.errors.CorruptStorageError`
-        before any state is touched.
+        reopened.  Restart is bounded: the graph is rebuilt from the
+        seed tables plus the checkpointed net edge delta (no event
+        replay), and only the journal *tail* past the checkpoint
+        watermark is streamed through the maintenance algorithms -- so
+        the resumed ``core``, ``cnt`` and epoch equal a
+        straight-through run's, at a cost independent of how many
+        events the service ever absorbed.  A v1 manifest (single-file
+        journal, no delta) falls back to replaying the full journal
+        prefix into the graph, exactly as the v1 code did.  A
+        corrupted journal raises
+        :class:`~repro.errors.CorruptStorageError` before any state is
+        touched.
         """
         data_dir = os.fspath(data_dir)
         manifest_path = os.path.join(data_dir, MANIFEST_NAME)
@@ -184,10 +241,10 @@ class CoreService:
             raise CorruptStorageError(
                 "service manifest %s is unreadable: %s"
                 % (manifest_path, exc)) from None
-        if manifest.get("version") != MANIFEST_VERSION:
+        version = manifest.get("version")
+        if version not in (1, MANIFEST_VERSION):
             raise CorruptStorageError(
-                "unsupported service manifest version %r"
-                % (manifest.get("version"),))
+                "unsupported service manifest version %r" % (version,))
         graph_path = manifest.get("graph_path")
         owned_storage = None
         if storage is None:
@@ -196,26 +253,48 @@ class CoreService:
                     "manifest records no graph path; pass the seed "
                     "storage explicitly")
             storage = owned_storage = GraphStorage.open(graph_path)
+        journal = None
         try:
-            journal = EventJournal(
-                os.path.join(data_dir,
-                             manifest.get("journal", JOURNAL_NAME)))
+            journal = EventJournal(data_dir,
+                                   segment_events=segment_events)
             applied = int(manifest["events_applied"])
-            events = journal.events()
-            if applied > len(events):
+            if applied > journal.num_events:
                 raise CorruptStorageError(
                     "journal holds %d events but the checkpoint covers %d"
-                    % (len(events), applied))
+                    % (journal.num_events, applied))
             graph = DynamicGraph(storage, buffer_capacity=buffer_capacity,
                                  path_factory=path_factory)
-            # The checkpointed arrays describe the graph *after* the
-            # first ``applied`` events; replay them into the graph alone
-            # (no maintenance needed -- the index already reflects them).
-            for _, op, u, v in events[:applied]:
-                if op == "+":
-                    graph.insert_edge(u, v, validate=False)
-                else:
-                    graph.delete_edge(u, v, validate=False)
+            edge_delta = {}
+            if version == 1:
+                # v1 layout: no delta file, nothing ever compacted --
+                # the checkpointed arrays describe the graph *after*
+                # the first ``applied`` events, so stream that prefix
+                # into the graph alone (no maintenance needed -- the
+                # index already reflects it).  The first checkpoint
+                # migrates the directory to the segmented layout.
+                for _, op, u, v in journal.iter_events(0, applied):
+                    if op == "+":
+                        graph.insert_edge(u, v, validate=False)
+                    else:
+                        graph.delete_edge(u, v, validate=False)
+                    _toggle_delta(edge_delta, op, u, v)
+            else:
+                if applied < journal.first_retained_event:
+                    raise CorruptStorageError(
+                        "journal was compacted past the checkpoint: "
+                        "first retained event is %d but the checkpoint "
+                        "covers only %d"
+                        % (journal.first_retained_event, applied))
+                edge_delta = _read_delta_file(
+                    os.path.join(data_dir, manifest["delta"]))
+                # The delta is the *net* difference at the watermark;
+                # applying it reproduces the exact observable graph of
+                # an event-order replay (adjacency is merged sorted).
+                for (u, v), op in sorted(edge_delta.items()):
+                    if op == "+":
+                        graph.insert_edge(u, v, validate=False)
+                    else:
+                        graph.delete_edge(u, v, validate=False)
             cores, cnt = load_checkpoint(
                 os.path.join(data_dir, manifest.get("checkpoint",
                                                     CHECKPOINT_NAME)),
@@ -227,13 +306,16 @@ class CoreService:
                           insert_algorithm=insert_algorithm,
                           epoch=int(manifest["epoch"]),
                           events_applied=applied, graph_path=graph_path,
-                          seed_algorithm=manifest.get("seed_algorithm"))
-            # Re-run the journal tail through the full maintenance path,
-            # preserving the original batch boundaries (= epoch
-            # sequence).
-            for batch, ops in journal.batches(applied):
+                          seed_algorithm=manifest.get("seed_algorithm"),
+                          edge_delta=edge_delta)
+            # Stream the journal tail through the full maintenance
+            # path, preserving the original batch boundaries (= epoch
+            # sequence).  Only segments past the watermark are read.
+            for batch, ops in journal.iter_batches(applied):
                 service._apply_ops(ops, batch=batch)
         except BaseException:
+            if journal is not None:
+                journal.close()
             if owned_storage is not None:
                 owned_storage.close()
             raise
@@ -280,6 +362,16 @@ class CoreService:
         return self._cache
 
     @property
+    def journal(self):
+        """The segmented write-ahead journal (None without a data dir)."""
+        return self._journal
+
+    @property
+    def edge_delta(self):
+        """Net edge difference against the seed tables (a copy)."""
+        return dict(self._edge_delta)
+
+    @property
     def cache_stats(self):
         """Hit/miss/eviction counters of the query cache."""
         return self._cache.stats
@@ -312,7 +404,7 @@ class CoreService:
     def stats(self):
         """One dict of serving counters, for reports and debugging."""
         io = self.io_stats
-        return {
+        stats = {
             "epoch": self._epoch,
             "events_applied": self._events_applied,
             "queries_served": self._queries_served,
@@ -321,6 +413,9 @@ class CoreService:
             "read_ios": io.read_ios,
             "write_ios": io.write_ios,
         }
+        if self._journal is not None:
+            stats["journal"] = self._journal.stats()
+        return stats
 
     def verify(self):
         """Recompute the decomposition from scratch and compare (debug)."""
@@ -330,24 +425,39 @@ class CoreService:
     # read API
     # ------------------------------------------------------------------
     def coreness(self, v):
-        """Core number of node ``v``."""
+        """Core number of node ``v``.
+
+        Validation precedes accounting throughout the read API: a
+        rejected query is never counted as served.
+        """
+        v = self._check_node(v)
         self._queries_served += 1
-        return self._cached(("coreness", self._check_node(v)),
+        return self._cached(("coreness", v),
                             lambda: self._maintainer.core(v))
 
     def coreness_many(self, nodes):
-        """Core numbers for a batch of nodes (one cache probe each)."""
-        self._queries_served += 1
+        """Core numbers for a batch of nodes.
+
+        Each node is one served query (and one cache probe) -- the
+        counter moves exactly as if the caller had issued
+        :meth:`coreness` per node.  The whole batch is validated first,
+        so a rejected batch counts nothing.
+        """
+        nodes = [self._check_node(v) for v in nodes]
         core = self._maintainer.core
-        return [self._cached(("coreness", self._check_node(v)),
-                             lambda v=v: core(v))
-                for v in nodes]
+        values = []
+        for v in nodes:
+            self._queries_served += 1
+            values.append(self._cached(("coreness", v),
+                                       lambda v=v: core(v)))
+        return values
 
     def kcore_members(self, k):
         """Node ids of the k-core (``core(v) >= k``)."""
+        k = self._check_k(k)
         self._queries_served += 1
         value = self._cached(
-            ("members", self._check_k(k)),
+            ("members", k),
             lambda: tuple(k_core_nodes(self._maintainer.cores, k)))
         return list(value)
 
@@ -358,8 +468,9 @@ class CoreService:
         ascending node order and filtered against the threshold; the
         result is the sorted ``(u, v)`` edge list with ``u < v``.
         """
+        k = self._check_k(k)
         self._queries_served += 1
-        value = self._cached(("subgraph", self._check_k(k)),
+        value = self._cached(("subgraph", k),
                              lambda: self._extract_subgraph(k))
         return list(value)
 
@@ -377,9 +488,8 @@ class CoreService:
 
         Deterministic order: descending core number, ascending node id.
         """
+        k = self._check_k(k)
         self._queries_served += 1
-        if k < 0:
-            raise ValueError("k must be non-negative")
         value = self._cached(("top", k), lambda: self._compute_top(k))
         return list(value)
 
@@ -406,11 +516,11 @@ class CoreService:
         """
         ops = [self._normalize_event(event) for event in events]
         if not ops:
-            from repro.storage.blockio import IOStats
-
-            return {"inserts": 0, "deletes": 0, "changed_nodes": [],
-                    "node_computations": 0, "io": IOStats(),
-                    "epoch": self._epoch, "max_core_touched": 0}
+            # The no-op summary comes from the same maintainer call the
+            # non-empty path uses, so its keys cannot drift from
+            # ``_apply_ops``'s.
+            return self._finish_summary(self._maintainer.apply_batch([]),
+                                        touched=0)
         self._check_algorithm(algorithm)
         self._validate_ops(ops)
         batch = self._epoch + 1
@@ -427,28 +537,57 @@ class CoreService:
         return summary
 
     def checkpoint(self):
-        """Checkpoint ``core``/``cnt`` and the covered journal offset.
+        """Checkpoint the index + graph delta, rotate, then compact.
 
-        Both the state file and the manifest are written to a sibling
-        temp file, fsynced, and atomically renamed (then the directory
-        entry is fsynced), so a crash mid-checkpoint -- including a
-        power loss with the rename journaled before the data blocks --
-        leaves the previous consistent pair in place.
+        The checkpoint transaction, in durable order:
+
+        1. **rotate** -- the journal seals its active segment and opens
+           a fresh one, so the new watermark falls exactly on a segment
+           boundary;
+        2. **state + delta** -- ``core``/``cnt`` and the net edge delta
+           are written to *epoch-versioned* files
+           (``state.<epoch>.ckpt`` / ``graph.<epoch>.delta``), each via
+           temp file + fsync + atomic rename;
+        3. **manifest** -- the manifest (same temp/fsync/rename
+           discipline, then a directory fsync) atomically repoints the
+           directory at the new pair and records the journal watermark
+           with the per-segment event offsets;
+        4. **compact** -- sealed segments fully covered by the new
+           watermark are unlinked, and checkpoint/delta files of
+           earlier epochs (including a v1 ``state.ckpt``) are retired.
+
+        A crash anywhere in the sequence leaves a directory that opens
+        to a consistent state: before step 3 the previous
+        manifest/state/delta triple is still in effect (the extra
+        segments and files are garbage the next checkpoint collects);
+        after step 3 the new triple is, and compaction merely has not
+        happened yet.
         """
         if self._data_dir is None:
             raise ReproError("service has no data directory to "
                              "checkpoint into")
-        state_path = os.path.join(self._data_dir, CHECKPOINT_NAME)
+        if self._journal is not None:
+            self._journal.rotate()
+            if self._crash_after_rotate is not None:
+                self._crash_after_rotate()
+        state_name = _checkpoint_file(self._epoch)
+        delta_name = _delta_file(self._epoch)
+        state_path = os.path.join(self._data_dir, state_name)
         save_checkpoint(state_path + ".tmp", self.graph,
                         self._maintainer.cores, self._maintainer.cnt)
         _fsync_path(state_path + ".tmp")
         os.replace(state_path + ".tmp", state_path)
+        delta_path = os.path.join(self._data_dir, delta_name)
+        _write_delta_file(delta_path + ".tmp", self._edge_delta)
+        _fsync_path(delta_path + ".tmp")
+        os.replace(delta_path + ".tmp", delta_path)
         manifest = {
             "version": MANIFEST_VERSION,
             "epoch": self._epoch,
             "events_applied": self._events_applied,
-            "checkpoint": CHECKPOINT_NAME,
-            "journal": JOURNAL_NAME,
+            "checkpoint": state_name,
+            "delta": delta_name,
+            "journal": self._journal_manifest(),
             "graph_path": self._graph_path,
             "seed_algorithm": self._seed_algorithm,
             "num_nodes": self.graph.num_nodes,
@@ -461,7 +600,53 @@ class CoreService:
             os.fsync(handle.fileno())
         os.replace(manifest_path + ".tmp", manifest_path)
         _fsync_path(self._data_dir)
+        if self._crash_before_compact is not None:
+            self._crash_before_compact()
+        if self._journal is not None:
+            self._journal.compact(self._events_applied)
+        self._retire_stale_files(state_name, delta_name)
         self._last_checkpoint_epoch = self._epoch
+
+    def _journal_manifest(self):
+        """The manifest's journal clause: watermark + segment offsets.
+
+        Informational redundancy for operators and forensics -- the
+        journal directory itself is the source of truth on open (a
+        crash between rotation/compaction and the next manifest write
+        legitimately leaves more, or fewer, segments than listed).
+        """
+        if self._journal is None:
+            return None
+        segments = self._journal.segments()
+        return {
+            "format": 2,
+            "watermark_events": self._events_applied,
+            "watermark_segment": segments[-1]["seq"],
+            "segments": segments,
+        }
+
+    def _retire_stale_files(self, state_name, delta_name):
+        """Unlink checkpoint/delta files the manifest no longer names.
+
+        Also collects a migrated v1 ``state.ckpt`` and any ``.tmp``
+        strays a crashed checkpoint left behind (the journal's own
+        temp files are the journal's to clean).
+        """
+        removed = False
+        for name in os.listdir(self._data_dir):
+            if name in (state_name, delta_name):
+                continue
+            stale = (
+                (name.startswith("state.") and name.endswith(".ckpt"))
+                or (name.startswith("graph.") and name.endswith(".delta"))
+                or (name.endswith(".tmp")
+                    and not name.startswith("journal."))
+            )
+            if stale:
+                os.unlink(os.path.join(self._data_dir, name))
+                removed = True
+        if removed:
+            _fsync_path(self._data_dir)
 
     # ------------------------------------------------------------------
     # internals
@@ -507,9 +692,15 @@ class CoreService:
             touched = max(touched, min(cores[u], cores[v]))
         for v in summary["changed_nodes"]:
             touched = max(touched, pre[v], cores[v])
+        for op, u, v in ops:
+            _toggle_delta(self._edge_delta, op, u, v)
         self._epoch = batch
         self._events_applied += len(ops)
         self._cache.invalidate(summary["changed_nodes"], touched)
+        return self._finish_summary(summary, touched)
+
+    def _finish_summary(self, summary, touched):
+        """Annotate a maintainer batch summary with the serving fields."""
         summary["epoch"] = self._epoch
         summary["max_core_touched"] = touched
         return summary
@@ -591,13 +782,69 @@ class CoreService:
                    self._queries_served, self._cache.stats.hit_rate))
 
 
-def _fsync_path(path):
-    """fsync a file (or directory) by path, so renames survive power loss."""
-    fd = os.open(path, os.O_RDONLY)
+def _toggle_delta(delta, op, u, v):
+    """Fold one applied event into the net delta against the seed.
+
+    Batch validation guarantees events alternate presence correctly,
+    so an event either introduces a difference from the seed tables
+    (new entry) or reverts a previous one (entry removed) -- the delta
+    is always the *net* divergence, never a history.
+    """
+    key = (u, v) if u < v else (v, u)
+    if key in delta:
+        del delta[key]
+    else:
+        delta[key] = op
+
+
+def _write_delta_file(path, delta):
+    """Serialize a net edge delta, deterministically, CRC-protected."""
+    body = b"".join(_DELTA_RECORD.pack(_DELTA_OPS[op], u, v)
+                    for (u, v), op in sorted(delta.items()))
+    with open(path, "wb") as handle:
+        handle.write(_DELTA_HEADER.pack(_DELTA_MAGIC, _DELTA_VERSION,
+                                        len(delta)))
+        handle.write(body)
+        handle.write(_DELTA_CRC.pack(zlib.crc32(body) & 0xFFFFFFFF))
+
+
+def _read_delta_file(path):
+    """Load a net edge delta written by :func:`_write_delta_file`."""
     try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        raise CorruptStorageError(
+            "manifest names a missing delta file %s" % path) from None
+    if len(blob) < _DELTA_HEADER.size + _DELTA_CRC.size:
+        raise CorruptStorageError("delta file %s is truncated" % path)
+    magic, version, count = _DELTA_HEADER.unpack(
+        blob[:_DELTA_HEADER.size])
+    if magic != _DELTA_MAGIC:
+        raise CorruptStorageError(
+            "delta file %s: bad magic %r" % (path, magic))
+    if version != _DELTA_VERSION:
+        raise CorruptStorageError(
+            "delta file %s: unsupported version %d" % (path, version))
+    body = blob[_DELTA_HEADER.size:-_DELTA_CRC.size]
+    if len(body) != count * _DELTA_RECORD.size:
+        raise CorruptStorageError(
+            "delta file %s holds %d bytes for %d records"
+            % (path, len(body), count))
+    if _DELTA_CRC.unpack(blob[-_DELTA_CRC.size:])[0] != \
+            zlib.crc32(body) & 0xFFFFFFFF:
+        raise CorruptStorageError(
+            "delta file %s fails its checksum" % path)
+    delta = {}
+    for index in range(count):
+        kind, u, v = _DELTA_RECORD.unpack_from(
+            body, index * _DELTA_RECORD.size)
+        if kind not in _DELTA_KINDS:
+            raise CorruptStorageError(
+                "delta file %s: record %d has kind %d"
+                % (path, index, kind))
+        delta[(u, v)] = _DELTA_KINDS[kind]
+    return delta
 
 
 def _compute_cnt_scan(graph, cores):

@@ -1,9 +1,41 @@
-"""Write-ahead journal of edge update events.
+"""Segmented write-ahead journal of edge update events.
 
 :class:`CoreService` journals every accepted batch *before* applying it
-to the maintained index, so a crash between the append and the in-memory
-state transition loses nothing: on restart the tail of the journal is
-replayed on top of the last checkpoint (``service/core_service.py``).
+to the maintained index, so a crash between the append and the
+in-memory state transition loses nothing: on restart the tail of the
+journal is replayed on top of the last checkpoint
+(``service/core_service.py``).
+
+Segmentation
+------------
+The journal is a *directory* of segment files::
+
+    journal.000001.log   sealed   events [0, 1024)
+    journal.000002.log   sealed   events [1024, 1536)
+    journal.000003.log   active   events [1536, ...)
+
+Records append to the highest-numbered segment (the *active* one).
+:meth:`rotate` seals the active segment by creating the next one --
+sealing is purely logical: a segment is sealed iff a higher-numbered
+segment exists, so there is no seal marker whose write could itself be
+torn.  Rotation happens on every :meth:`CoreService.checkpoint` and
+whenever the active segment reaches ``segment_events`` events.
+
+Every segment header records the segment's *base offset*: the number of
+events journaled before it across the whole history.  Offsets are
+therefore global and survive :meth:`compact`, which unlinks sealed
+segments whose events are all covered by the durable checkpoint --
+the on-disk replay prefix stays bounded by the checkpoint interval
+instead of growing with the lifetime of the service.  Event history is
+*not* retained in memory: reads stream from the segment files
+(:meth:`iter_events` / :meth:`iter_batches`), and only a fixed-size
+retention window of the most recent events is kept for introspection
+(:meth:`recent_events`).
+
+A journal created by the v1 code (one ``journal.log`` file) is adopted
+as segment 0 with base offset 0: appends continue into it until the
+first rotation seals it, after which compaction retires it like any
+other sealed segment.
 
 Durability model
 ----------------
@@ -16,9 +48,9 @@ Durability model
   trailing record, or a batch header followed by fewer event records
   than it announces -- is the signature of a crash mid-append: the
   whole unacknowledged batch is silently discarded on open and
-  overwritten by the next append.  Without the header, a torn write
-  that happened to end on a record boundary would replay as a
-  *truncated* batch, a state matching neither "applied" nor "lost".
+  overwritten by the next append.  Only the *active* segment can
+  legitimately have a torn tail; appends never touch sealed segments,
+  so a short read there is corruption and refuses to open.
 * A complete record whose CRC does not match is treated as
   *corruption*, not an interrupted write, and replaying past it could
   desynchronize the index from the graph:
@@ -30,8 +62,13 @@ Durability model
   corruption, and the service's source of truth (graph tables +
   checkpoint) makes a rejected journal recoverable by reseeding,
   whereas replaying a wrong event is not.  An existing but empty
-  journal file (crash between create and header write) is unambiguous
-  and is re-initialized in place.
+  active segment (crash between create and header write) is
+  unambiguous and is re-initialized in place.
+* New segments are created via write-to-temp + ``fsync`` + atomic
+  rename + directory ``fsync``: a segment file either exists with a
+  complete header or not at all.  Compaction unlinks oldest-first, so
+  a crash mid-compaction leaves a contiguous suffix of segments;
+  fully-covered stragglers are retired by the next checkpoint.
 
 The journal counts none of its own bytes against the graph's
 :class:`~repro.storage.blockio.IOStats`: it is service durability
@@ -41,18 +78,40 @@ plumbing, not part of the paper's external-memory cost model.
 from __future__ import annotations
 
 import os
+import re
 import struct
 import zlib
+from collections import deque
 
 from repro.errors import CorruptStorageError
 
-_MAGIC = b"RPRJRNL1"
-_VERSION = 1
-_FILE_HEADER = struct.Struct("<8sI4x")
+_LEGACY_MAGIC = b"RPRJRNL1"
+_LEGACY_VERSION = 1
+_LEGACY_HEADER = struct.Struct("<8sI4x")
+
+_SEGMENT_MAGIC = b"RPRJRNL2"
+_SEGMENT_VERSION = 2
+#: magic, version, pad, sequence number, base event offset.
+_SEGMENT_HEADER = struct.Struct("<8sI4xQQ")
+
 _PAYLOAD = struct.Struct("<BIIQ")
 _CRC = struct.Struct("<I")
 
 RECORD_SIZE = _PAYLOAD.size + _CRC.size
+
+#: The v1 single-file journal, adopted as segment 0 when present.
+LEGACY_NAME = "journal.log"
+#: 6 digits zero-padded, but sequences outlive the padding: match more.
+_SEGMENT_RE = re.compile(r"^journal\.(\d{6,})\.log$")
+
+#: Events an active segment may hold before an append auto-rotates it
+#: (rotation also happens on every checkpoint).  ``None`` disables the
+#: size trigger.
+DEFAULT_SEGMENT_EVENTS = 4096
+
+#: Most recent events kept in memory for introspection -- the journal
+#: never holds its full history resident.
+DEFAULT_RETENTION_EVENTS = 256
 
 #: Event kind byte <-> the public "+" / "-" operation codes.
 _KIND_TO_OP = {0: "+", 1: "-"}
@@ -61,36 +120,84 @@ _OP_TO_KIND = {"+": 0, "-": 1}
 _KIND_BATCH = 2
 
 
+def segment_name(seq):
+    """File name of segment ``seq`` (``journal.000017.log``)."""
+    return "journal.%06d.log" % seq
+
+
 def _pack_record(kind, u, v, batch):
     payload = _PAYLOAD.pack(kind, u, v, batch)
     return payload + _CRC.pack(zlib.crc32(payload) & 0xFFFFFFFF)
 
 
+class _Segment:
+    """Metadata of one live segment file."""
+
+    __slots__ = ("path", "name", "seq", "base_events", "num_events",
+                 "append_pos", "header_size", "legacy")
+
+    def __init__(self, path, seq, base_events, *, legacy=False):
+        self.path = path
+        self.name = os.path.basename(path)
+        self.seq = seq
+        self.base_events = base_events
+        self.num_events = 0
+        self.header_size = (_LEGACY_HEADER.size if legacy
+                            else _SEGMENT_HEADER.size)
+        self.append_pos = self.header_size
+        self.legacy = legacy
+
+    @property
+    def end_events(self):
+        """Global offset one past this segment's last event."""
+        return self.base_events + self.num_events
+
+    def as_dict(self):
+        """Manifest form: the per-segment event offsets."""
+        return {"name": self.name, "seq": self.seq,
+                "base_events": self.base_events,
+                "events": self.num_events}
+
+
 class EventJournal:
-    """Append-only journal of ``("+"|"-", u, v)`` events grouped in batches."""
+    """Append-only segmented journal of ``("+"|"-", u, v)`` batches."""
 
-    def __init__(self, path):
-        """Open (or create) the journal at ``path``.
+    def __init__(self, directory, *, segment_events=DEFAULT_SEGMENT_EVENTS,
+                 retention_events=DEFAULT_RETENTION_EVENTS):
+        """Open (or create) the journal living under ``directory``.
 
-        Opening scans the existing records once: the event count is
-        recovered, a torn trailing batch (partial record or incomplete
-        batch) is truncated away, and a corrupt complete record raises
+        Opening scans every live segment once, streaming: per-segment
+        event counts are recovered and CRCs verified without
+        materializing the history.  A torn trailing batch of the
+        *active* segment is truncated away; any damage elsewhere raises
         :class:`~repro.errors.CorruptStorageError` immediately -- a
         journal that cannot be replayed must not be appended to.
         """
-        self.path = os.fspath(path)
-        # A 0-byte file is a crash between create and header write:
-        # nothing was ever journaled, so re-initialize it.
-        fresh = (not os.path.exists(self.path)
-                 or os.path.getsize(self.path) == 0)
-        self._handle = open(self.path, "w+b" if fresh else "r+b")
-        if fresh:
-            self._handle.write(_FILE_HEADER.pack(_MAGIC, _VERSION))
-            self._sync()
-            self._events = []
-            self._append_pos = _FILE_HEADER.size
-        else:
-            self._events, self._append_pos = self._scan()
+        if segment_events is not None and segment_events < 1:
+            raise ValueError("segment_events must be positive or None")
+        self.directory = os.fspath(directory)
+        self.segment_events = segment_events
+        self._retention = deque(maxlen=max(0, retention_events))
+        self._closed = False
+        self._handle = None
+        self._segments = self._discover()
+        if not self._segments:
+            self._segments = [self._create_segment(1, 0)]
+        previous = None
+        for segment in self._segments:
+            if segment.base_events is None:
+                # 0-byte file, base unknown: legitimate only for the
+                # active segment (crash between create and header
+                # write); derive its base from the chain.
+                if segment is not self._segments[-1]:
+                    raise CorruptStorageError(
+                        "journal segment %s: sealed segment is empty"
+                        % segment.path)
+                segment.base_events = (previous.end_events
+                                       if previous is not None else 0)
+            self._scan_segment(segment)
+            previous = segment
+        self._open_active()
 
     # -- writing ------------------------------------------------------------
     def append(self, events, batch):
@@ -98,52 +205,188 @@ class EventJournal:
 
         The header + event records hit the disk (``fsync``) before this
         returns; only then may the caller apply the batch to the index.
+        Reaching ``segment_events`` rotates to a fresh segment
+        afterwards.
         """
-        if self._handle.closed:
-            raise CorruptStorageError("journal %s is closed" % self.path)
+        if self._closed:
+            raise CorruptStorageError(
+                "journal under %s is closed" % self.directory)
         events = list(events)
         if not events:
             return
+        active = self._active
         blob = _pack_record(_KIND_BATCH, len(events), 0, batch)
         blob += b"".join(_pack_record(_OP_TO_KIND[op], u, v, batch)
                          for op, u, v in events)
-        self._handle.seek(self._append_pos)
+        self._handle.seek(active.append_pos)
         self._handle.write(blob)
         self._handle.truncate()
-        self._sync()
-        self._events.extend((batch, op, u, v) for op, u, v in events)
-        self._append_pos += len(blob)
+        self._sync(self._handle)
+        active.append_pos += len(blob)
+        active.num_events += len(events)
+        self._retention.extend((batch, op, u, v) for op, u, v in events)
+        if (self.segment_events is not None
+                and active.num_events >= self.segment_events):
+            self.rotate()
+
+    def rotate(self):
+        """Seal the active segment by opening the next one.
+
+        Sealing is logical -- the new segment's existence is what seals
+        its predecessor -- so the only durability step is the atomic
+        creation of the new file.  A no-op (returns False) when the
+        active segment holds no events yet: repeated checkpoints must
+        not pile up empty segments.
+        """
+        if self._closed:
+            raise CorruptStorageError(
+                "journal under %s is closed" % self.directory)
+        active = self._active
+        if active.num_events == 0:
+            return False
+        # Create the successor and open its handle before touching the
+        # active one: a failure anywhere (ENOSPC, EMFILE, ...) must
+        # leave the journal exactly as it was, still able to append.
+        segment = self._create_segment(active.seq + 1, active.end_events)
+        try:
+            handle = open(segment.path, "r+b")
+        except BaseException:
+            os.unlink(segment.path)
+            raise
+        self._handle.close()
+        self._handle = handle
+        self._segments.append(segment)
+        return True
+
+    def compact(self, events_covered):
+        """Unlink sealed segments fully covered by ``events_covered``.
+
+        ``events_covered`` is the checkpoint watermark: the global
+        number of journaled events the durable checkpoint accounts for.
+        The active segment is never removed; a sealed segment
+        straddling the watermark survives.  Unlinks oldest-first so a
+        crash mid-compaction leaves a contiguous segment suffix.
+        Returns the removed file names.
+        """
+        removed = []
+        while (len(self._segments) > 1
+               and self._segments[0].end_events <= events_covered):
+            segment = self._segments.pop(0)
+            os.unlink(segment.path)
+            removed.append(segment.name)
+        if removed:
+            fsync_path(self.directory)
+        return removed
 
     # -- reading ------------------------------------------------------------
     @property
     def num_events(self):
-        """Number of valid events currently journaled."""
-        return len(self._events)
+        """Global number of events ever journaled (O(1))."""
+        return self._segments[-1].end_events
+
+    @property
+    def first_retained_event(self):
+        """Global offset of the oldest event still on disk."""
+        return self._segments[0].base_events
+
+    @property
+    def num_segments(self):
+        """Number of live segment files (sealed + active)."""
+        return len(self._segments)
+
+    @property
+    def active_segment(self):
+        """File name of the segment appends currently go to."""
+        return self._active.name
+
+    def segments(self):
+        """Per-segment event offsets, oldest first (manifest form)."""
+        return [segment.as_dict() for segment in self._segments]
+
+    def stats(self):
+        """One dict of journal gauges, for reports and debugging."""
+        disk_bytes = 0
+        for segment in self._segments:
+            try:
+                disk_bytes += os.path.getsize(segment.path)
+            except OSError:
+                pass
+        return {
+            "segments": len(self._segments),
+            "active_segment": self._active.name,
+            "total_events": self.num_events,
+            "retained_events": self.num_events - self.first_retained_event,
+            "first_retained_event": self.first_retained_event,
+            "disk_bytes": disk_bytes,
+        }
+
+    def recent_events(self):
+        """The in-memory retention window of most recent events."""
+        return list(self._retention)
+
+    def iter_events(self, start=0, stop=None):
+        """Stream ``(batch, op, u, v)`` for global indexes
+        ``[start, stop)``.
+
+        Reads from the segment files -- nothing is materialized.
+        Whole batches before ``start`` are *skipped by seek*, not read,
+        so positioning at a checkpoint watermark costs one batch-header
+        read per skipped batch.
+        """
+        if stop is None:
+            stop = self.num_events
+        if start < self.first_retained_event:
+            raise CorruptStorageError(
+                "journal under %s: events before %d were compacted away "
+                "(requested %d)"
+                % (self.directory, self.first_retained_event, start))
+        for segment in self._segments:
+            if segment.end_events <= start:
+                continue
+            if segment.base_events >= stop:
+                break
+            for event in self._iter_segment(segment, start, stop):
+                yield event
+
+    def iter_batches(self, start=0):
+        """Group :meth:`iter_events` into ``(batch, events)`` runs.
+
+        Events of one batch are contiguous and within one segment by
+        construction (one append per batch); the grouping keys on the
+        stored batch id so a replay reproduces exactly the batch
+        boundaries -- and therefore the epoch sequence -- of the
+        original run.
+        """
+        current = None
+        ops = []
+        for batch, op, u, v in self.iter_events(start):
+            if current is not None and batch != current:
+                yield current, ops
+                ops = []
+            current = batch
+            ops.append((op, u, v))
+        if current is not None:
+            yield current, ops
 
     def events(self, start=0):
-        """The journaled ``(batch, op, u, v)`` tuples from index ``start``."""
-        return list(self._events[start:])
+        """The ``(batch, op, u, v)`` tuples from global index ``start``.
+
+        Convenience list form of :meth:`iter_events`; prefer the
+        iterator for anything that may be long.
+        """
+        return list(self.iter_events(start))
 
     def batches(self, start=0):
-        """Group :meth:`events` from ``start`` into ``(batch, events)`` runs.
-
-        Events of one batch are contiguous by construction (one append
-        per batch); the grouping keys on the stored batch id so a replay
-        reproduces exactly the batch boundaries -- and therefore the
-        epoch sequence -- of the original run.
-        """
-        groups = []
-        for batch, op, u, v in self._events[start:]:
-            if not groups or groups[-1][0] != batch:
-                groups.append((batch, []))
-            groups[-1][1].append((op, u, v))
-        return groups
+        """List form of :meth:`iter_batches`."""
+        return list(self.iter_batches(start))
 
     # -- lifecycle ----------------------------------------------------------
     def close(self):
-        """Close the backing file."""
-        if not self._handle.closed:
-            self._handle.close()
+        """Close the active segment's backing file."""
+        if not self._closed:
+            self._closed = True
+            if self._handle is not None and not self._handle.closed:
+                self._handle.close()
 
     def __enter__(self):
         return self
@@ -153,73 +396,272 @@ class EventJournal:
         return False
 
     # -- internals ----------------------------------------------------------
-    def _sync(self):
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+    @property
+    def _active(self):
+        return self._segments[-1]
 
-    def _read_record(self, index):
+    def _open_active(self):
+        self._handle = open(self._active.path, "r+b")
+
+    @staticmethod
+    def _sync(handle):
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def _discover(self):
+        """Find live segments (and a legacy v1 file) under the dir."""
+        if os.path.isfile(self.directory):
+            raise CorruptStorageError(
+                "EventJournal takes the journal *directory*, but %s is "
+                "a file (the v1 API took the journal.log path)"
+                % self.directory)
+        os.makedirs(self.directory, exist_ok=True)
+        segments = []
+        for name in os.listdir(self.directory):
+            path = os.path.join(self.directory, name)
+            match = _SEGMENT_RE.match(name)
+            if match:
+                segments.append((int(match.group(1)), path))
+            elif (name.startswith("journal.") and name.endswith(".tmp")):
+                # A segment creation that never reached its rename.
+                os.unlink(path)
+        segments.sort()
+        found = []
+        legacy_path = os.path.join(self.directory, LEGACY_NAME)
+        if os.path.exists(legacy_path):
+            found.append(_Segment(legacy_path, 0, 0, legacy=True))
+        for seq, path in segments:
+            base = self._read_segment_header(path, seq)
+            found.append(_Segment(path, seq, base))
+        return found
+
+    def _read_segment_header(self, path, seq):
+        """Validate a v2 segment header; returns its base offset.
+
+        The header is written atomically with the file's creation, so a
+        short or malformed header is corruption, never a crash window.
+        Base-offset contiguity with the neighbouring segments is
+        checked after each segment's scan, once its event count is
+        known.
+        """
+        with open(path, "rb") as handle:
+            header = handle.read(_SEGMENT_HEADER.size)
+        if not header:
+            # Base offset unknown until the segment chain is resolved.
+            return None
+        if len(header) != _SEGMENT_HEADER.size:
+            raise CorruptStorageError(
+                "journal segment %s: header truncated" % path)
+        magic, version, file_seq, base = _SEGMENT_HEADER.unpack(header)
+        if magic != _SEGMENT_MAGIC:
+            raise CorruptStorageError(
+                "journal segment %s: bad magic %r" % (path, magic))
+        if version != _SEGMENT_VERSION:
+            raise CorruptStorageError(
+                "journal segment %s: unsupported version %d"
+                % (path, version))
+        if file_seq != seq:
+            raise CorruptStorageError(
+                "journal segment %s: header claims sequence %d"
+                % (path, file_seq))
+        return base
+
+    def _create_segment(self, seq, base_events):
+        """Atomically create segment ``seq`` starting at ``base_events``."""
+        path = os.path.join(self.directory, segment_name(seq))
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(_SEGMENT_HEADER.pack(
+                _SEGMENT_MAGIC, _SEGMENT_VERSION, seq, base_events))
+            self._sync(handle)
+        os.replace(tmp, path)
+        fsync_path(self.directory)
+        return _Segment(path, seq, base_events)
+
+    def _scan_segment(self, segment):
+        """Streaming scan: count events, verify CRCs, fix a torn tail.
+
+        Only the active (last) segment may carry a torn trailing batch;
+        it is truncated away.  The same state in a sealed segment --
+        which appends never touch -- is corruption.
+        """
+        is_active = segment is self._segments[-1]
+        # Only the active segment is ever repaired (tail truncation /
+        # header re-init); sealed segments are read-only.
+        with open(segment.path, "r+b" if is_active else "rb") as handle:
+            size = handle.seek(0, os.SEEK_END)
+            if size == 0:
+                # Crash between create and header write (only the v1
+                # code could leave this; v2 creation is atomic).  For
+                # the active segment nothing was ever journaled:
+                # re-initialize in place.
+                if not is_active:
+                    raise CorruptStorageError(
+                        "journal segment %s: sealed segment is empty"
+                        % segment.path)
+                self._init_header(handle, segment)
+                return
+            handle.seek(0)
+            header = handle.read(segment.header_size)
+            if len(header) != segment.header_size:
+                raise CorruptStorageError(
+                    "journal %s: header truncated" % segment.path)
+            if segment.legacy:
+                magic, version = _LEGACY_HEADER.unpack(header)
+                if magic != _LEGACY_MAGIC:
+                    raise CorruptStorageError(
+                        "journal %s: bad magic %r" % (segment.path, magic))
+                if version != _LEGACY_VERSION:
+                    raise CorruptStorageError(
+                        "journal %s: unsupported version %d"
+                        % (segment.path, version))
+            position = segment.header_size
+            read = 0
+            events = 0
+            while True:
+                head = self._read_record(handle, segment, read)
+                if head is None:
+                    break
+                read += 1
+                kind, count, _, batch = head
+                if kind != _KIND_BATCH:
+                    raise CorruptStorageError(
+                        "journal %s: record %d is not a batch header "
+                        "(kind %d)" % (segment.path, read - 1, kind))
+                complete = True
+                batch_events = []
+                for _ in range(count):
+                    record = self._read_record(handle, segment, read)
+                    if record is None:
+                        complete = False
+                        break
+                    read += 1
+                    event_kind, u, v, event_batch = record
+                    if event_kind not in _KIND_TO_OP or \
+                            event_batch != batch:
+                        raise CorruptStorageError(
+                            "journal %s: record %d does not belong to "
+                            "batch %d" % (segment.path, read - 1, batch))
+                    batch_events.append(
+                        (batch, _KIND_TO_OP[event_kind], u, v))
+                if not complete:
+                    break
+                events += count
+                self._retention.extend(batch_events)
+                position += RECORD_SIZE * (count + 1)
+            # Anything past the last complete batch is a torn append of
+            # a batch that was never acknowledged: drop it -- but only
+            # where appends can tear, i.e. in the active segment.
+            if handle.seek(0, os.SEEK_END) != position:
+                if not is_active:
+                    raise CorruptStorageError(
+                        "journal %s: sealed segment has a torn tail"
+                        % segment.path)
+                handle.seek(position)
+                handle.truncate()
+                self._sync(handle)
+            segment.num_events = events
+            segment.append_pos = position
+        successor = self._successor_of(segment)
+        # A successor with base None is a 0-byte file whose base will
+        # be *derived* from this segment's end -- contiguous by
+        # construction, nothing to check yet.
+        if successor is not None and successor.base_events is not None \
+                and successor.base_events != segment.end_events:
+            raise CorruptStorageError(
+                "journal %s: segment ends at event %d but %s starts "
+                "at %d" % (segment.path, segment.end_events,
+                           successor.name, successor.base_events))
+
+    def _successor_of(self, segment):
+        index = self._segments.index(segment)
+        if index + 1 < len(self._segments):
+            return self._segments[index + 1]
+        return None
+
+    def _init_header(self, handle, segment):
+        handle.seek(0)
+        if segment.legacy:
+            handle.write(_LEGACY_HEADER.pack(_LEGACY_MAGIC,
+                                             _LEGACY_VERSION))
+        else:
+            handle.write(_SEGMENT_HEADER.pack(
+                _SEGMENT_MAGIC, _SEGMENT_VERSION, segment.seq,
+                segment.base_events))
+        self._sync(handle)
+        segment.num_events = 0
+        segment.append_pos = segment.header_size
+
+    def _read_record(self, handle, segment, index):
         """Next record as ``(kind, u, v, batch)``; None at a torn tail."""
-        record = self._handle.read(RECORD_SIZE)
+        record = handle.read(RECORD_SIZE)
         if len(record) < RECORD_SIZE:
             return None
         payload, crc = record[:_PAYLOAD.size], record[_PAYLOAD.size:]
         if _CRC.unpack(crc)[0] != zlib.crc32(payload) & 0xFFFFFFFF:
             raise CorruptStorageError(
                 "journal %s: record %d fails its checksum "
-                "(corrupted tail)" % (self.path, index))
+                "(corrupted tail)" % (segment.path, index))
         return _PAYLOAD.unpack(payload)
 
-    def _scan(self):
-        self._handle.seek(0)
-        header = self._handle.read(_FILE_HEADER.size)
-        if len(header) != _FILE_HEADER.size:
-            raise CorruptStorageError(
-                "journal %s: header truncated" % self.path)
-        magic, version = _FILE_HEADER.unpack(header)
-        if magic != _MAGIC:
-            raise CorruptStorageError(
-                "journal %s: bad magic %r" % (self.path, magic))
-        if version != _VERSION:
-            raise CorruptStorageError(
-                "journal %s: unsupported version %d" % (self.path, version))
-        events = []
-        position = _FILE_HEADER.size
-        read = 0
-        while True:
-            head = self._read_record(read)
-            if head is None:
-                break
-            read += 1
-            kind, count, _, batch = head
-            if kind != _KIND_BATCH:
-                raise CorruptStorageError(
-                    "journal %s: record %d is not a batch header "
-                    "(kind %d)" % (self.path, read - 1, kind))
-            batch_events = []
-            complete = True
-            for _ in range(count):
-                record = self._read_record(read)
-                if record is None:
-                    complete = False
+    def _iter_segment(self, segment, start, stop):
+        """Yield the segment's events overlapping ``[start, stop)``.
+
+        Batches entirely before ``start`` are skipped with a seek of
+        their announced size; the scan already proved every batch
+        complete, so the arithmetic is safe.  Reads always use their
+        own handle so an append never races an iterator's position.
+        """
+        handle = open(segment.path, "rb")
+        try:
+            handle.seek(segment.header_size)
+            offset = segment.base_events
+            read = 0
+            while offset < min(stop, segment.end_events):
+                head = self._read_record(handle, segment, read)
+                if head is None:
                     break
                 read += 1
-                event_kind, u, v, event_batch = record
-                if event_kind not in _KIND_TO_OP or event_batch != batch:
+                kind, count, _, batch = head
+                if kind != _KIND_BATCH:
                     raise CorruptStorageError(
-                        "journal %s: record %d does not belong to "
-                        "batch %d" % (self.path, read - 1, batch))
-                batch_events.append((batch, _KIND_TO_OP[event_kind], u, v))
-            if not complete:
-                break
-            events.extend(batch_events)
-            position += RECORD_SIZE * (count + 1)
-        # Anything past the last complete batch is a torn append of a
-        # batch that was never acknowledged: drop it.
-        if self._handle.seek(0, os.SEEK_END) != position:
-            self._handle.seek(position)
-            self._handle.truncate()
-            self._sync()
-        return events, position
+                        "journal %s: record %d is not a batch header "
+                        "(kind %d)" % (segment.path, read - 1, kind))
+                if offset + count <= start:
+                    handle.seek(RECORD_SIZE * count, os.SEEK_CUR)
+                    read += count
+                    offset += count
+                    continue
+                for _ in range(count):
+                    record = self._read_record(handle, segment, read)
+                    if record is None:
+                        raise CorruptStorageError(
+                            "journal %s: batch %d truncated mid-read"
+                            % (segment.path, batch))
+                    read += 1
+                    event_kind, u, v, event_batch = record
+                    if event_kind not in _KIND_TO_OP or \
+                            event_batch != batch:
+                        raise CorruptStorageError(
+                            "journal %s: record %d does not belong to "
+                            "batch %d" % (segment.path, read - 1, batch))
+                    if start <= offset < stop:
+                        yield event_batch, _KIND_TO_OP[event_kind], u, v
+                    offset += 1
+        finally:
+            handle.close()
 
     def __repr__(self):
-        return "EventJournal(%r, events=%d)" % (self.path, self.num_events)
+        return ("EventJournal(%r, segments=%d, events=%d)"
+                % (self.directory, len(self._segments), self.num_events))
+
+
+def fsync_path(path):
+    """fsync a file (or directory) by path, so creations and renames
+    survive power loss.  Shared by the journal and the checkpoint
+    writer (``service/core_service.py``)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

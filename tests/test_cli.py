@@ -135,10 +135,24 @@ class TestServe:
         assert main(["serve", "--graph", converted_graph,
                      "--queries", "30", "--updates", "4",
                      "--data-dir", data_dir]) == 0
-        assert "checkpointed" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "checkpointed" in out
+        assert "journal segments" in out
         assert main(["serve", "--graph", converted_graph,
                      "--queries", "10", "--data-dir", data_dir]) == 0
         assert "resumed service" in capsys.readouterr().out
+
+    def test_segment_events_flag(self, converted_graph, tmp_path,
+                                 capsys):
+        data_dir = str(tmp_path / "svc")
+        assert main(["serve", "--graph", converted_graph,
+                     "--queries", "10", "--updates", "6",
+                     "--batch-size", "3", "--segment-events", "2",
+                     "--data-dir", data_dir]) == 0
+        assert "journal" in capsys.readouterr().out
+        assert main(["serve", "--graph", converted_graph,
+                     "--segment-events", "0"]) == 1
+        assert "segment-events" in capsys.readouterr().err
 
     def test_numpy_engine(self, converted_graph, capsys):
         pytest.importorskip("numpy")

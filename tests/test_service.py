@@ -82,12 +82,43 @@ class TestQueries:
         with pytest.raises(ValueError):
             service.top_k(-1)
 
+    def test_top_k_validates_like_check_k(self):
+        """top_k must raise the same error shape as the shared helper
+        and must not count a rejected query as served."""
+        service = paper_service()
+        with pytest.raises(ValueError, match="non-negative") as top_exc:
+            service.top_k(-1)
+        with pytest.raises(ValueError, match="non-negative") as k_exc:
+            service.kcore_members(-1)
+        assert str(top_exc.value) == str(k_exc.value)
+        assert service.queries_served == 0
+
     def test_queries_served_counter(self):
         service = paper_service()
         service.coreness(0)
         service.kcore_members(2)
         service.core_histogram()
         assert service.queries_served == 3
+
+    def test_coreness_many_counts_per_node(self):
+        """Batch lookups account one served query per node."""
+        service = paper_service()
+        service.coreness_many([0, 4, 8])
+        assert service.queries_served == 3
+        service.coreness_many([])
+        assert service.queries_served == 3
+        service.coreness(1)
+        assert service.queries_served == 4
+
+    def test_rejected_queries_not_counted(self):
+        service = paper_service()
+        with pytest.raises(GraphError):
+            service.coreness(99)
+        with pytest.raises(GraphError):
+            service.coreness_many([0, 99])
+        with pytest.raises(ValueError):
+            service.kcore_members(-1)
+        assert service.queries_served == 0
 
 
 class TestSeeding:
@@ -122,6 +153,18 @@ class TestApply:
         summary = service.apply([])
         assert summary["epoch"] == 0
         assert service.epoch == 0
+
+    def test_empty_batch_summary_keys_match_real_batch(self):
+        """The no-op summary is built by the same helper as a real
+        one: its keys (and value shapes) cannot drift."""
+        service = paper_service()
+        empty = service.apply([])
+        real = service.apply([("+", 4, 6)])
+        assert set(empty) == set(real)
+        assert empty["inserts"] == 0 and empty["deletes"] == 0
+        assert empty["changed_nodes"] == []
+        assert empty["max_core_touched"] == 0
+        assert empty["io"].read_ios == 0 and empty["io"].write_ios == 0
 
     def test_updates_keep_index_exact(self):
         service, edges, n = social_service()
