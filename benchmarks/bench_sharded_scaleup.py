@@ -1,0 +1,122 @@
+"""Sharded decomposition scale-up: shard count vs I/O, rounds, memory.
+
+Runs :func:`~repro.core.sharded.sharded_semi_core_star` over a growing
+shard count on the webbase proxy (the big graph with the mildest degree
+mixing, hence the most shard locality of the registry) and reports the
+scale-up trade the shard refactor buys: the per-shard working set
+(``model_memory_bytes`` / ``max_shard_rows``) shrinks with the shard
+count while the exchange rounds and the boundary-table overhead grow.
+The ``shards=1`` row doubles as the unsharded working-set baseline.
+Every row is checked bit-identical against the unsharded SemiCore*
+cores, and the executor rows assert the serial/multiprocessing
+I/O-identity contract.
+
+Raw metrics land in ``BENCH_RESULTS.json`` via the results sink, so the
+perf trajectory tracks sharded scale-up across PRs.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_bytes, format_count, \
+    format_seconds
+from repro.core.engines import available_engines
+from repro.core.semicore_star import semi_core_star
+from repro.core.sharded import sharded_semi_core_star
+
+from benchmarks.conftest import load_bench_dataset, once
+
+DATASET = "webbase"
+SHARD_COUNTS = [1, 2, 4, 8]
+FIGURE = "Sharded scale-up (%s proxy)" % DATASET
+
+#: Engine/executor matrix measured at the largest shard count.
+VARIANTS = [("python", "multiprocessing"), ("numpy", "serial")]
+
+
+def _reference_cores():
+    storage = load_bench_dataset(DATASET)
+    try:
+        return list(semi_core_star(storage).cores)
+    finally:
+        storage.close()
+
+
+@pytest.fixture(scope="module")
+def reference_cores():
+    return _reference_cores()
+
+
+def _add_row(results, result, executor, seconds):
+    results.add(
+        FIGURE,
+        dataset=DATASET,
+        engine=result.engine,
+        executor=executor,
+        shards=result.num_shards,
+        rounds=result.iterations,
+        read_ios=format_count(result.io.read_ios),
+        write_ios=format_count(result.io.write_ios),
+        shard_memory=format_bytes(result.model_memory_bytes),
+        max_shard_rows=format_count(result.max_shard_nodes),
+        boundary_rows=format_count(result.num_boundary),
+        time=format_seconds(seconds),
+        _shards=result.num_shards,
+        _rounds=result.iterations,
+        _read_ios=result.io.read_ios,
+        _write_ios=result.io.write_ios,
+        _memory_bytes=result.model_memory_bytes,
+        _boundary_rows=result.num_boundary,
+        _seconds=seconds,
+    )
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_sharded_scaleup(benchmark, results, reference_cores,
+                         num_shards):
+    storage = load_bench_dataset(DATASET)
+    outcome = {}
+
+    def run():
+        outcome["result"] = sharded_semi_core_star(storage, num_shards)
+
+    once(benchmark, run)
+    result = outcome["result"]
+    storage.close()
+    assert list(result.cores) == reference_cores
+    _add_row(results, result, result.executor, result.elapsed_seconds)
+
+
+@pytest.mark.parametrize("engine,executor", VARIANTS)
+def test_sharded_variants(benchmark, results, reference_cores, engine,
+                          executor):
+    if engine not in available_engines():
+        pytest.skip("engine %r unavailable" % engine)
+    num_shards = SHARD_COUNTS[-1]
+    storage = load_bench_dataset(DATASET)
+    outcome = {}
+
+    def run():
+        outcome["result"] = sharded_semi_core_star(
+            storage, num_shards, engine=engine, executor=executor)
+
+    once(benchmark, run)
+    result = outcome["result"]
+    storage.close()
+    assert list(result.cores) == reference_cores
+    _add_row(results, result, executor, result.elapsed_seconds)
+
+
+def test_executor_io_identity(results, reference_cores):
+    """serial and multiprocessing must report identical I/O figures."""
+    num_shards = 4
+    runs = {}
+    for executor in ("serial", "multiprocessing"):
+        storage = load_bench_dataset(DATASET)
+        runs[executor] = sharded_semi_core_star(storage, num_shards,
+                                                executor=executor)
+        storage.close()
+    serial, multi = runs["serial"], runs["multiprocessing"]
+    assert list(serial.cores) == reference_cores
+    assert list(multi.cores) == reference_cores
+    assert serial.io == multi.io
+    assert serial.iterations == multi.iterations

@@ -22,12 +22,21 @@ Run it directly (``python benchmarks/collect_results.py``) or let a
 benchmark session regenerate the file automatically at teardown.  CI
 uploads the file as a workflow artifact.
 
-The trajectory is a snapshot of *everything currently parseable under
-the results directory*: figure files left by earlier sessions (possibly
-at other scales) are included, each record carrying its own ``scale``,
-and the top-level ``scale`` becomes a sorted list when sessions mixed
-scales.  For a single-run artifact (what CI publishes) start from a
-clean results directory.
+The trajectory *merges into* its previous output rather than requiring
+every figure to be present: records collected from the per-figure files
+currently on disk supersede the previous ``BENCH_RESULTS.json`` records
+of the same figures wholesale, while figures with no file on disk carry
+over from the previous output.  A partial benchmark run (one figure,
+one bench module, an interrupted session) therefore refreshes what it
+ran and keeps the rest of the trajectory instead of emptying it.  Each
+record carries its own ``scale`` and the top-level ``scale`` becomes a
+sorted list when runs mixed scales.  Pass ``--no-merge`` (or
+``merge=False``) for a from-scratch artifact.
+
+``--require-new`` makes the exit status fail when the merged output
+gained no new rows over a baseline (``--previous``, default the output
+itself before rewriting) -- CI uses it so a bench job whose trajectory
+silently stayed empty fails instead of uploading a stale artifact.
 """
 
 from __future__ import annotations
@@ -92,16 +101,56 @@ def collect(results_dir=DEFAULT_RESULTS_DIR):
     return records, skipped
 
 
-def write_trajectory(results_dir=DEFAULT_RESULTS_DIR, output=None):
+def load_previous_records(path):
+    """Records of an earlier ``BENCH_RESULTS.json``, or [] when unusable."""
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError, UnicodeDecodeError):
+        return []
+    records = payload.get("records")
+    return records if isinstance(records, list) else []
+
+
+def merge_records(fresh, previous):
+    """Merge freshly collected records into a previous trajectory.
+
+    Fresh records supersede previous records of the same *figure*
+    wholesale (figure files are always saved as whole tables, so a
+    re-run figure replaces all of its old rows); figures absent from
+    the fresh collection carry over.  Returns ``(merged, carried)``.
+    """
+    fresh_figures = {record.get("figure") for record in fresh}
+    carried = [record for record in previous
+               if record.get("figure") not in fresh_figures]
+    return fresh + carried, len(carried)
+
+
+def count_new_records(records, previous):
+    """How many of ``records`` are not present verbatim in ``previous``."""
+    seen = {json.dumps(record, sort_keys=True) for record in previous}
+    return sum(1 for record in records
+               if json.dumps(record, sort_keys=True) not in seen)
+
+
+def write_trajectory(results_dir=DEFAULT_RESULTS_DIR, output=None,
+                     merge=True):
     """Write ``BENCH_RESULTS.json`` next to the per-figure files.
 
-    Returns the path written, or None when there is nothing to export.
+    With ``merge`` (the default) the previous output's records survive
+    for figures the current collection did not produce, so partial runs
+    refresh the trajectory instead of truncating it.  Returns the path
+    written, or None when there is nothing to export.
     """
     records, skipped = collect(results_dir)
     if not records and not os.path.isdir(results_dir):
         return None
     if output is None:
         output = os.path.join(results_dir, "BENCH_RESULTS.json")
+    carried = 0
+    if merge:
+        records, carried = merge_records(
+            records, load_previous_records(output))
     scales = sorted({record["scale"] for record in records
                      if record.get("scale") is not None})
     payload = {
@@ -109,6 +158,7 @@ def write_trajectory(results_dir=DEFAULT_RESULTS_DIR, output=None):
         "scale": scales[0] if len(scales) == 1 else scales,
         "records": records,
         "skipped_rows": skipped,
+        "carried_records": carried,
     }
     os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
     with open(output, "w", encoding="ascii") as handle:
@@ -126,14 +176,40 @@ def main(argv=None):
     parser.add_argument("--output", default=None,
                         help="output path (default: "
                              "<results>/BENCH_RESULTS.json)")
+    parser.add_argument("--no-merge", action="store_true",
+                        help="rebuild from the per-figure files only, "
+                             "dropping records the previous output "
+                             "carried for figures not on disk")
+    parser.add_argument("--previous", default=None,
+                        help="baseline BENCH_RESULTS.json for new-row "
+                             "counting (default: the output file before "
+                             "this run rewrites it)")
+    parser.add_argument("--require-new", action="store_true",
+                        help="exit non-zero when no new rows were "
+                             "gained over the baseline (CI guard "
+                             "against an empty/stale trajectory)")
     args = parser.parse_args(argv)
-    path = write_trajectory(args.results, args.output)
+    output = args.output or os.path.join(args.results,
+                                         "BENCH_RESULTS.json")
+    baseline = load_previous_records(args.previous or output)
+    path = write_trajectory(args.results, args.output,
+                            merge=not args.no_merge)
     if path is None:
         print("no results under %s" % args.results, file=sys.stderr)
         return 1
-    records, skipped = collect(args.results)
-    print("wrote %s (%d records, %d rows without raw metrics)"
-          % (path, len(records), skipped))
+    with open(path, "r", encoding="ascii") as handle:
+        payload = json.load(handle)
+    records = payload["records"]
+    carried = payload["carried_records"]
+    new = count_new_records(records, baseline)
+    print("wrote %s (%d records: %d collected, %d carried over, "
+          "%d new vs baseline; %d rows without raw metrics)"
+          % (path, len(records), len(records) - carried, carried,
+             new, payload["skipped_rows"]))
+    if args.require_new and new == 0:
+        print("error: trajectory gained no new rows (benchmarks did "
+              "not run or produced nothing new)", file=sys.stderr)
+        return 1
     return 0
 
 

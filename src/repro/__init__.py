@@ -6,7 +6,10 @@ Scale" (Wen, Qin, Zhang, Lin, Yu -- ICDE 2016).  The public API exposes:
 * the on-disk graph substrate (:class:`~repro.storage.GraphStorage`,
   :class:`~repro.storage.DynamicGraph`, :class:`~repro.storage.MemoryGraph`),
 * the decomposition algorithms (:func:`im_core`, :func:`em_core`,
-  :func:`semi_core`, :func:`semi_core_plus`, :func:`semi_core_star`),
+  :func:`semi_core`, :func:`semi_core_plus`, :func:`semi_core_star`,
+  :func:`distributed_core`, and the sharded driver
+  :func:`sharded_semi_core_star` over
+  :class:`~repro.storage.ShardedGraphStorage`),
 * the maintenance API (:class:`~repro.core.CoreMaintainer`),
 * the serving layer (:class:`~repro.service.CoreService` -- cached
   queries, journaled update batches, checkpointed restarts),
@@ -37,6 +40,7 @@ from repro.storage import (
     IOStats,
     MemoryBlockDevice,
     MemoryGraph,
+    ShardedGraphStorage,
 )
 from repro.core import (
     CoreMaintainer,
@@ -44,6 +48,7 @@ from repro.core import (
     MaintenanceResult,
     core_histogram,
     degeneracy,
+    distributed_core,
     em_core,
     im_core,
     k_core_nodes,
@@ -52,6 +57,7 @@ from repro.core import (
     semi_core,
     semi_core_plus,
     semi_core_star,
+    sharded_semi_core_star,
 )
 from repro.datasets import load_dataset
 from repro.service import CoreService, EventJournal, ServiceCache
@@ -69,13 +75,16 @@ __all__ = [
     "GraphStorage",
     "DynamicGraph",
     "MemoryGraph",
+    "ShardedGraphStorage",
     "DecompositionResult",
     "MaintenanceResult",
     "im_core",
     "em_core",
+    "distributed_core",
     "semi_core",
     "semi_core_plus",
     "semi_core_star",
+    "sharded_semi_core_star",
     "local_core",
     "CoreMaintainer",
     "k_core_nodes",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 
+from repro.core.distributed import distributed_core
 from repro.core.engines import ENGINE_AWARE_ALGORITHMS
 from repro.core.imcore import im_core
 from repro.core.emcore import em_core
@@ -31,6 +32,7 @@ DECOMPOSITION_ALGORITHMS = {
     "semicore*": semi_core_star,
     "emcore": em_core,
     "imcore": im_core,
+    "distributed": distributed_core,
 }
 
 

@@ -27,6 +27,7 @@ from repro.bench.reporting import (
 )
 from repro.core.engines import engine_names
 from repro.core.maintenance.maintainer import CoreMaintainer
+from repro.core.sharded import executor_names
 from repro.datasets.io import read_edge_list
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.errors import ReproError
@@ -77,9 +78,25 @@ def _cmd_stats(args):
 
 
 def _cmd_decompose(args):
+    if args.executor is not None and args.shards is None:
+        raise ReproError("--executor requires --shards")
     storage = GraphStorage.open(args.graph)
-    result = run_decomposition(args.algorithm, storage,
-                               engine=args.engine)
+    if args.shards is not None:
+        if args.shards < 1:
+            raise ReproError("--shards must be >= 1, got %d" % args.shards)
+        if args.algorithm != "semicore*":
+            raise ReproError(
+                "--shards drives per-shard SemiCore* passes; use "
+                "--algorithm semicore* (got %r)" % args.algorithm
+            )
+        from repro.core.sharded import sharded_semi_core_star
+
+        result = sharded_semi_core_star(storage, args.shards,
+                                        engine=args.engine,
+                                        executor=args.executor)
+    else:
+        result = run_decomposition(args.algorithm, storage,
+                                   engine=args.engine)
     rows = [
         ("algorithm", result.algorithm),
         ("engine", result.engine),
@@ -91,6 +108,13 @@ def _cmd_decompose(args):
         ("model memory", format_bytes(result.model_memory_bytes)),
         ("time", format_seconds(result.elapsed_seconds)),
     ]
+    if args.shards is not None:
+        rows[1:1] = [
+            ("shards", str(result.num_shards)),
+            ("executor", result.executor),
+            ("max shard rows", format_count(result.max_shard_nodes)),
+            ("boundary rows", format_count(result.num_boundary)),
+        ]
     print(format_table(("metric", "value"), rows))
     if args.output:
         with open(args.output, "w", encoding="ascii") as handle:
@@ -348,10 +372,17 @@ def build_parser():
     p.add_argument("--graph", required=True)
     p.add_argument("--algorithm", default="semicore*",
                    choices=["semicore", "semicore+", "semicore*",
-                            "emcore", "imcore"])
+                            "emcore", "imcore", "distributed"])
     p.add_argument("--engine", default=None, choices=engine_names(),
                    help="execution engine for any decomposition algorithm "
                         "(default: the reference python engine)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="split the node range into this many shards and "
+                        "run per-shard SemiCore* passes with boundary "
+                        "exchange (semicore* only)")
+    p.add_argument("--executor", default=None, choices=executor_names(),
+                   help="how shard passes run (with --shards; default "
+                        "serial)")
     p.add_argument("--output", help="write per-node core numbers here")
     p.set_defaults(func=_cmd_decompose)
 

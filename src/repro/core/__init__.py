@@ -39,6 +39,14 @@ from repro.core.result import DecompositionResult, MaintenanceResult
 from repro.core.semicore import semi_core
 from repro.core.semicore_plus import semi_core_plus
 from repro.core.semicore_star import converge_star, semi_core_star
+from repro.core.sharded import (
+    MultiprocessingShardExecutor,
+    SerialShardExecutor,
+    executor_names,
+    get_executor,
+    register_executor,
+    sharded_semi_core_star,
+)
 
 __all__ = [
     "DEFAULT_ENGINE",
@@ -60,6 +68,12 @@ __all__ = [
     "semi_core",
     "semi_core_plus",
     "semi_core_star",
+    "sharded_semi_core_star",
+    "SerialShardExecutor",
+    "MultiprocessingShardExecutor",
+    "executor_names",
+    "get_executor",
+    "register_executor",
     "converge_star",
     "local_core",
     "compute_cnt",

@@ -24,7 +24,7 @@ from repro.errors import GraphError
 
 
 def distributed_core(graph, *, initial_cores=None, trace_changes=False,
-                     max_rounds=None):
+                     max_rounds=None, engine=None):
     """Synchronous message-passing core decomposition.
 
     Each round every node recomputes Eq. 1 from the estimates *published
@@ -32,8 +32,17 @@ def distributed_core(graph, *, initial_cores=None, trace_changes=False,
     round barrier, as in a bulk-synchronous distributed system).  Returns
     a :class:`DecompositionResult` whose ``iterations`` is the number of
     rounds and whose ``io`` reflects one full scan per round when the
-    graph is storage backed.
+    graph is storage backed.  ``engine`` selects an execution engine
+    from :mod:`repro.core.engines` (default ``"python"``, the reference
+    rounds below); every engine returns bit-identical results.
     """
+    if engine is not None and engine != "python":
+        from repro.core.engines import engine_implementation
+
+        return engine_implementation(engine, "distributed")(
+            graph, initial_cores=initial_cores,
+            trace_changes=trace_changes, max_rounds=max_rounds,
+        )
     started = time.perf_counter()
     snapshot = io_snapshot(graph)
     n = graph.num_nodes

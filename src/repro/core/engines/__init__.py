@@ -2,8 +2,11 @@
 
 An *engine* is a set of interchangeable kernel implementations keyed by
 algorithm name: the decomposition family (``"semicore"``,
-``"semicore+"``, ``"semicore*"``, ``"emcore"``, ``"imcore"``) plus the
-maintenance operations (``"insert"``, ``"insert*"``, ``"delete*"``).
+``"semicore+"``, ``"semicore*"``, ``"emcore"``, ``"imcore"``,
+``"distributed"``), the maintenance operations (``"insert"``,
+``"insert*"``, ``"delete*"``), and orchestrated kernels such as
+``"shard-pass"`` (the per-shard sweep driven by
+:func:`repro.core.sharded.sharded_semi_core_star`).
 The registry decouples the algorithm API (``semi_core(graph,
 engine=...)``, ``CoreMaintainer(..., engine=...)``) from how the
 per-node work is executed, so future backends (multiprocessing, GPU,
@@ -36,7 +39,13 @@ DEFAULT_ENGINE = "python"
 
 #: Decomposition algorithm names that accept an ``engine=`` argument.
 ENGINE_AWARE_ALGORITHMS = ("semicore", "semicore+", "semicore*", "emcore",
-                           "imcore")
+                           "imcore", "distributed")
+
+#: Kernel names resolvable through the registry but driven by a higher
+#: level orchestrator rather than called as stand-alone algorithms
+#: (``"shard-pass"`` runs under :func:`repro.core.sharded.
+#: sharded_semi_core_star`).
+ENGINE_KERNELS = ("shard-pass",)
 
 #: Maintenance operation names resolvable through the registry
 #: (routed via the maintenance functions' ``engine=`` argument and
@@ -134,6 +143,7 @@ def engine_implementation(engine, algorithm):
 
 
 def _load_python():
+    from repro.core.distributed import distributed_core
     from repro.core.emcore import em_core
     from repro.core.imcore import im_core
     from repro.core.maintenance.delete_star import semi_delete_star
@@ -142,6 +152,7 @@ def _load_python():
     from repro.core.semicore import semi_core
     from repro.core.semicore_plus import semi_core_plus
     from repro.core.semicore_star import semi_core_star
+    from repro.core.sharded import shard_pass_python
 
     return {
         "semicore": semi_core,
@@ -149,6 +160,8 @@ def _load_python():
         "semicore*": semi_core_star,
         "emcore": em_core,
         "imcore": im_core,
+        "distributed": distributed_core,
+        "shard-pass": shard_pass_python,
         "insert": semi_insert,
         "insert*": semi_insert_star,
         "delete*": semi_delete_star,
@@ -168,6 +181,8 @@ def _load_numpy():
         "semicore*": numpy_engine.semi_core_star_numpy,
         "emcore": numpy_emcore.em_core_numpy,
         "imcore": numpy_engine.im_core_numpy,
+        "distributed": numpy_engine.distributed_core_numpy,
+        "shard-pass": numpy_engine.shard_pass_numpy,
         "insert": numpy_maintenance.semi_insert_numpy,
         "insert*": numpy_maintenance.semi_insert_star_numpy,
         "delete*": numpy_maintenance.semi_delete_star_numpy,

@@ -57,7 +57,8 @@ from repro.errors import GraphError
 from repro.storage.csr import CSRGraph
 
 __all__ = ["semi_core_numpy", "semi_core_plus_numpy",
-           "semi_core_star_numpy", "im_core_numpy"]
+           "semi_core_star_numpy", "im_core_numpy",
+           "shard_pass_numpy", "distributed_core_numpy"]
 
 
 # ----------------------------------------------------------------------
@@ -151,12 +152,14 @@ def _refresh_supporting(csr, core, cnt, changed):
     return cnt
 
 
-def _sequential_pass(csr, core, cnt=None):
+def _sequential_pass(csr, core, cnt=None, limit=None):
     """Exact result of one ascending Gauss-Seidel sweep, vectorized.
 
     ``core`` holds the pass-start values; ``cnt`` (optional, recomputed
-    when absent) their supporting counts.  Returns the post-pass values
-    without mutating ``core``.
+    when absent) their supporting counts.  ``limit`` restricts the sweep
+    to rows below it: rows at or past ``limit`` are read like any
+    neighbour but never recomputed (the sharded engine's frozen halo
+    rows).  Returns the post-pass values without mutating ``core``.
     """
     old = core
     if cnt is None:
@@ -167,7 +170,10 @@ def _sequential_pass(csr, core, cnt=None):
     # only ones the sweep can move first; everything else joins the
     # active set when a smaller-id neighbour drops.  Violators drop by
     # definition, so every active node gets the full h-index treatment.
-    active = np.flatnonzero(cnt < old)
+    if limit is None:
+        active = np.flatnonzero(cnt < old)
+    else:
+        active = np.flatnonzero(cnt[:limit] < old[:limit])
     while active.size:
         h = _local_core_batch(csr, active, x, old)
         dropped = h < x[active]
@@ -179,6 +185,8 @@ def _sequential_pass(csr, core, cnt=None):
         # the sweep still has in front of it ...
         nbr, owner, _, _ = _row_members(csr, changed)
         larger = nbr[nbr > owner]
+        if limit is not None:
+            larger = larger[larger < limit]
         if larger.size == 0:
             break
         mark[larger] = True
@@ -509,6 +517,117 @@ def semi_core_star_numpy(graph, *, initial_cores=None, trace_changes=False,
         cnt=_as_core_array(cnt),
         engine="numpy",
     )
+
+
+def shard_pass_numpy(graph, *, initial_cores, frozen_from):
+    """Vectorized per-shard SemiCore* sweep with frozen halo rows.
+
+    The numpy side of the ``"shard-pass"`` kernel contract (see
+    :func:`repro.core.sharded.shard_pass_python`): ``graph`` is one
+    shard's local table, ``initial_cores`` the current estimates for
+    every local row, and rows at or past ``frozen_from`` are boundary
+    estimates that contribute their value but are never recomputed.
+    Runs the shared restricted pass kernel until no owned row violates
+    Eq. 2 -- the same greatest fixpoint the reference kernel's
+    Gauss-Seidel schedule reaches, so the cores agree exactly.
+    """
+    n = graph.num_nodes
+    if len(initial_cores) != n:
+        raise GraphError(
+            "initial_cores has %d entries, expected %d"
+            % (len(initial_cores), n)
+        )
+    if not 0 <= frozen_from <= n:
+        raise GraphError(
+            "frozen_from %d out of range [0, %d]" % (frozen_from, n)
+        )
+    core = np.asarray(initial_cores, dtype=np.int64)
+    computations = 0
+    iterations = 0
+    num_arcs = 0
+    first = np.flatnonzero(core[:frozen_from] > 0)
+    if first.size:
+        # Snapshot via the identical ascending neighbors() reads the
+        # reference kernel's first sweep issues; halo rows stay empty.
+        csr = CSRGraph.from_rows(first, n, graph.neighbors)
+        num_arcs = csr.num_arcs
+        supporting = _count_supporting(csr, core)
+        while True:
+            iterations += 1
+            old = core
+            core = _sequential_pass(csr, core, cnt=supporting,
+                                    limit=frozen_from)
+            changed_ids = np.flatnonzero(core != old)
+            if iterations == 1:
+                processed = first
+            else:
+                processed = changed_ids
+                _replay_neighbor_reads(graph, processed)
+            computations += int(processed.size)
+            _refresh_supporting(csr, core, supporting, changed_ids)
+            if not np.any(supporting[:frozen_from] < core[:frozen_from]):
+                break
+    model_memory = 8 * (n + 1) + 4 * num_arcs + 16 * n
+    return _as_core_array(core), computations, iterations, model_memory
+
+
+def distributed_core_numpy(graph, *, initial_cores=None,
+                           trace_changes=False, max_rounds=None):
+    """Vectorized Montresor et al. rounds with reference semantics.
+
+    One Jacobi round evaluates Eq. 1 for every node against the
+    estimates published at the previous barrier, which is exactly
+    :func:`_local_core_batch` with ``current`` and ``old`` both bound to
+    the round-start vector.  Each round rebuilds the snapshot, issuing
+    the identical device reads of the reference engine's per-round
+    sequential scan, so rounds, change traces, message counts and block
+    I/O all match :func:`repro.core.distributed.distributed_core`
+    bit for bit.
+    """
+    started = time.perf_counter()
+    snapshot = io_snapshot(graph)
+    n = graph.num_nodes
+    core = _initial_cores(graph, initial_cores)
+
+    changes = [] if trace_changes else None
+    rounds = 0
+    computations = 0
+    messages = 0
+    max_arcs = 0
+    rows = np.arange(n, dtype=np.int64)
+    update = True
+    while update:
+        csr = CSRGraph.from_graph(graph)
+        if csr.num_arcs > max_arcs:
+            max_arcs = csr.num_arcs
+        new = _local_core_batch(csr, rows, core, core)
+        changed = int(np.count_nonzero(new != core))
+        core = new
+        rounds += 1
+        computations += n
+        messages += csr.num_arcs
+        update = changed > 0
+        if trace_changes:
+            changes.append(changed)
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+
+    elapsed = time.perf_counter() - started
+    # The snapshot is resident plus the old/new estimate vectors.
+    model_memory = 8 * (n + 1) + 4 * max_arcs + 16 * n
+    result = DecompositionResult(
+        algorithm="DistributedCore",
+        cores=_as_core_array(core),
+        iterations=rounds,
+        node_computations=computations,
+        io=io_delta(graph, snapshot),
+        elapsed_seconds=elapsed,
+        model_memory_bytes=model_memory,
+        per_iteration_changes=changes,
+        engine="numpy",
+    )
+    result.messages = messages  # message-count metric of the model
+    return result
 
 
 def im_core_numpy(graph):

@@ -1,0 +1,413 @@
+"""Sharded SemiCore*: per-shard sweeps with boundary-estimate exchange.
+
+:func:`sharded_semi_core_star` decomposes a graph whose ``core[]`` array
+is not allowed to be resident all at once.  It splits the node id space
+into contiguous range shards (:class:`~repro.storage.shards.\
+ShardedGraphStorage`), keeps every core estimate in per-shard *estimate
+tables* on counting block devices, and iterates rounds of per-shard
+SemiCore* passes until the global fixpoint:
+
+1. **Gather** -- for every shard, read its owned estimates and resolve
+   its halo rows' estimates from the owning shards' estimate tables
+   (the boundary-estimate exchange; all reads use round-start values,
+   so rounds are Jacobi *across* shards and Gauss-Seidel *within* one).
+2. **Pass** -- run a SemiCore* sweep per shard with the halo estimates
+   frozen, through a pluggable :class:`ShardExecutor` (``serial`` or
+   ``multiprocessing``) and any registered engine's ``"shard-pass"``
+   kernel (``python`` and ``numpy`` ship).
+3. **Scatter** -- write each shard's new owned estimates back to its
+   estimate table; stop once no estimate moved anywhere.
+
+Correctness follows the locality property (Theorem 4.1) exactly as in
+Montresor et al.'s message-passing formulation (``core/distributed.py``):
+estimates start at the degrees, every LocalCore application is monotone
+and keeps each estimate an upper bound on the true core number, and the
+only fixpoint reachable from above is the core numbers themselves -- so
+the result is bit-identical to :func:`~repro.core.semicore_star.\
+semi_core_star` however the graph is sharded.  The round structure with
+bounded per-shard state follows Gao et al. ("K-Core Decomposition on
+Super Large Graphs with Limited Resources", PAPERS.md).
+
+Memory model
+------------
+A pass touches one shard: its ``core``/``cnt`` arrays, gathered halo
+estimates and adjacency buffer.  ``model_memory_bytes`` of the returned
+result is the *largest per-shard working set* -- ``O(max shard)``, not
+``O(n)`` -- because the full estimate vector only ever lives in the
+estimate tables (external storage in the I/O model) and the final cores
+array is assembled by streaming those tables into the result object.
+
+Executor contract
+-----------------
+``executor.run(fn, tasks)`` evaluates ``fn`` over ``tasks`` and returns
+the results *in task order*.  A shard-pass task must observe three rules
+so executors are interchangeable: it reads only its own shard's devices,
+it starts from dropped device caches, and it charges its I/O to a
+scratch counter that the driver folds into the shared ``IOStats``
+afterwards.  Those rules make cores *and* I/O figures identical between
+``serial`` and ``multiprocessing`` -- asserted by
+``tests/test_sharded.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from array import array
+from bisect import bisect_right
+
+from repro.core.engines import DEFAULT_ENGINE, engine_implementation
+from repro.core.result import DecompositionResult
+from repro.core.semicore_star import converge_star
+from repro.errors import GraphError, ReproError
+from repro.storage.blockio import DEFAULT_BLOCK_SIZE, IOStats, \
+    MemoryBlockDevice
+from repro.storage.shards import ShardedGraphStorage
+
+#: ``cnt`` sentinel that keeps halo rows permanently satisfied: a frozen
+#: row can lose at most one support per adjacency entry of its shard, so
+#: any value far above ``num_arcs`` can never drop below its estimate.
+_FROZEN_SENTINEL = 1 << 40
+
+ESTIMATE_ENTRY_SIZE = 4
+_ESTIMATE_TYPECODE = "i"
+
+
+# ----------------------------------------------------------------------
+# shard-pass kernels (registered as "shard-pass" in the engine registry)
+# ----------------------------------------------------------------------
+
+def shard_pass_python(graph, *, initial_cores, frozen_from):
+    """Reference per-shard SemiCore* sweep with frozen halo rows.
+
+    ``graph`` is one shard's local table (owned rows first, then halo
+    rows), ``initial_cores`` the current estimates for every local row.
+    Rows at local id >= ``frozen_from`` are boundary estimates: they are
+    read like any neighbour but never recomputed.  Returns ``(cores,
+    node_computations, sweep_iterations, model_memory_bytes)`` with
+    ``cores`` covering every local row (the halo suffix unchanged).
+    """
+    n = graph.num_nodes
+    if len(initial_cores) != n:
+        raise GraphError(
+            "initial_cores has %d entries, expected %d"
+            % (len(initial_cores), n)
+        )
+    if not 0 <= frozen_from <= n:
+        raise GraphError(
+            "frozen_from %d out of range [0, %d]" % (frozen_from, n)
+        )
+    core = array(_ESTIMATE_TYPECODE, initial_cores)
+    cnt = array("q", bytes(8 * n))
+    for v in range(frozen_from, n):
+        cnt[v] = _FROZEN_SENTINEL
+    stats = converge_star(graph, core, cnt, range(frozen_from))
+    # core ('i') + cnt ('q') arrays plus the adjacency buffer.
+    model_memory = 12 * n + 8 * stats.max_degree_seen
+    return core, stats.computations, stats.iterations, model_memory
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+
+class SerialShardExecutor:
+    """Run shard passes one after another in the driving process."""
+
+    name = "serial"
+
+    def run(self, fn, tasks):
+        return [fn(task) for task in tasks]
+
+    def close(self):
+        pass
+
+
+class MultiprocessingShardExecutor:
+    """Run each round's shard passes in forked worker processes.
+
+    Workers inherit the shard devices through fork and read them with
+    ``os.pread`` (no shared file offsets), so file- and memory-backed
+    shards both work.  A worker's I/O lands in its own scratch counter
+    and is returned with the pass result; the driver folds it into the
+    shared ``IOStats``, which keeps the combined figures identical to
+    the serial executor's.  Worker exceptions propagate to the caller.
+    """
+
+    name = "multiprocessing"
+
+    def __init__(self, processes=None):
+        if processes is not None and processes < 1:
+            raise ReproError(
+                "processes must be >= 1, got %d" % processes
+            )
+        self.processes = processes
+        self._pool = None
+
+    def run(self, fn, tasks):
+        if not tasks:
+            return []
+        if self._pool is None:
+            # Lazily forked on the first round -- after the driver has
+            # published the active shards -- and reused across rounds
+            # (shard devices are read-only during passes, and every
+            # pass starts from dropped caches, so worker reuse cannot
+            # perturb results).  close() allows a later re-fork.
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                raise ReproError(
+                    "the multiprocessing executor needs the fork start "
+                    "method; use executor='serial' on this platform"
+                ) from None
+            processes = self.processes or (os.cpu_count() or 1)
+            self._pool = context.Pool(
+                processes=max(1, min(processes, len(tasks))))
+        return self._pool.map(fn, tasks)
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+EXECUTORS = {
+    SerialShardExecutor.name: SerialShardExecutor,
+    MultiprocessingShardExecutor.name: MultiprocessingShardExecutor,
+}
+
+
+def register_executor(name, factory):
+    """Register (or replace) a shard executor factory under ``name``."""
+    EXECUTORS[name.lower()] = factory
+
+
+def executor_names():
+    """All registered executor names, sorted."""
+    return sorted(EXECUTORS)
+
+
+def get_executor(executor):
+    """Resolve an executor spec: None, a registered name, or an object.
+
+    Anything exposing ``run(fn, tasks)`` is accepted as-is, so callers
+    can plug in their own (thread pools, remote workers, ...).
+    """
+    if executor is None:
+        executor = SerialShardExecutor.name
+    if isinstance(executor, str):
+        try:
+            return EXECUTORS[executor.lower()]()
+        except KeyError:
+            raise ReproError(
+                "unknown executor %r (registered: %s)"
+                % (executor, ", ".join(executor_names()))
+            ) from None
+    if hasattr(executor, "run"):
+        return executor
+    raise ReproError(
+        "executor must be a registered name or expose run(fn, tasks); "
+        "got %r" % (executor,)
+    )
+
+
+# ----------------------------------------------------------------------
+# the per-shard task (module level so it pickles into workers)
+# ----------------------------------------------------------------------
+
+#: Shards of the round being executed; set by the driver before
+#: ``executor.run`` so forked workers inherit it.
+_ACTIVE_SHARDS = None
+
+
+def _run_shard_pass(task):
+    """Execute one shard pass; the unit of work executors schedule.
+
+    ``task`` is ``(shard_index, engine, owned_estimates, halo_estimates)``.
+    The pass starts cold (device caches dropped), touches only the
+    shard's own devices, and charges its I/O to a scratch counter so the
+    driver can apply one combined delta whatever process ran the pass.
+    Returns ``(owned_cores, computations, sweep_iterations,
+    model_memory_bytes, io_counts)``.
+    """
+    index, engine, owned, halo = task
+    shard = _ACTIVE_SHARDS[index]
+    graph = shard.graph
+    initial = array(_ESTIMATE_TYPECODE, owned)
+    initial.extend(halo)
+    kernel = engine_implementation(engine, "shard-pass")
+    scratch = IOStats()
+    devices = (graph.node_device, graph.edge_device)
+    saved = [dev.stats for dev in devices]
+    for dev in devices:
+        dev.stats = scratch
+    graph.drop_caches()
+    try:
+        cores, computations, sweeps, memory = kernel(
+            graph, initial_cores=initial, frozen_from=shard.num_owned
+        )
+    finally:
+        for dev, stats in zip(devices, saved):
+            dev.stats = stats
+    owned_cores = array(_ESTIMATE_TYPECODE, cores[:shard.num_owned])
+    io_counts = (scratch.read_ios, scratch.write_ios,
+                 scratch.bytes_read, scratch.bytes_written)
+    return owned_cores, computations, sweeps, memory, io_counts
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+
+def sharded_semi_core_star(graph, num_shards, *, engine=None,
+                           executor=None, path=None, trace_changes=False):
+    """Decompose ``graph`` with ``num_shards`` node-range shards.
+
+    ``engine`` selects the per-shard pass kernel through the engine
+    registry (``"shard-pass"``; default the reference python kernel),
+    ``executor`` how the passes run (``"serial"`` default,
+    ``"multiprocessing"``, a registered name, or any object with
+    ``run(fn, tasks)``).  ``path`` makes the shard tables file-backed.
+
+    Returns a :class:`DecompositionResult` whose cores are bit-identical
+    to :func:`~repro.core.semicore_star.semi_core_star`, whose
+    ``iterations`` counts exchange rounds (including the final round
+    that confirms the fixpoint), and whose ``model_memory_bytes`` is the
+    largest per-shard working set.  Extra attributes: ``num_shards``,
+    ``executor`` (the resolved name), ``max_shard_nodes`` and
+    ``num_boundary``.
+    """
+    global _ACTIVE_SHARDS
+    started = time.perf_counter()
+    engine_name = (engine or DEFAULT_ENGINE).lower()
+    # Resolve early so unknown engines/kernels fail before any build I/O.
+    engine_implementation(engine_name, "shard-pass")
+    exec_obj = get_executor(executor)
+
+    shared = getattr(graph, "io_stats", None)
+    stats = shared if shared is not None else IOStats()
+    snapshot = stats.snapshot()
+    block_size = getattr(graph, "block_size", DEFAULT_BLOCK_SIZE)
+    sharded = ShardedGraphStorage.from_storage(
+        graph, num_shards, path=path, stats=stats
+    )
+    estimates = [
+        MemoryBlockDevice(block_size=block_size, stats=stats)
+        for _ in sharded.shards
+    ]
+
+    rounds = 0
+    computations = 0
+    peak_memory = 0
+    changes = [] if trace_changes else None
+    try:
+        # Round 0: the degree upper bounds, streamed shard by shard.
+        for shard, device in zip(sharded.shards, estimates):
+            degrees = shard.graph.read_degrees()[:shard.num_owned]
+            device.write_at(0, degrees.tobytes())
+
+        boundary_cache = [shard.boundary_ids()
+                          for shard in sharded.shards]
+        _ACTIVE_SHARDS = sharded.shards
+        while True:
+            rounds += 1
+            tasks = []
+            for shard, device, boundary in zip(sharded.shards, estimates,
+                                               boundary_cache):
+                owned = _read_estimates(device, shard.num_owned)
+                halo = _gather_boundary(boundary, sharded.bounds,
+                                        estimates)
+                tasks.append((shard.index, engine_name, owned, halo))
+            results = exec_obj.run(_run_shard_pass, tasks)
+            changed = 0
+            for shard, device, task, outcome in zip(
+                    sharded.shards, estimates, tasks, results):
+                cores, comps, _, memory, io_counts = outcome
+                _apply_io(stats, io_counts)
+                computations += comps
+                local_state = memory + \
+                    12 * shard.num_local + 4 * shard.num_owned
+                if local_state > peak_memory:
+                    peak_memory = local_state
+                if cores != task[2]:
+                    changed += sum(1 for a, b in zip(cores, task[2])
+                                   if a != b)
+                    device.write_at(0, cores.tobytes())
+            if trace_changes:
+                changes.append(changed)
+            if not changed:
+                break
+
+        cores = array(_ESTIMATE_TYPECODE)
+        for shard, device in zip(sharded.shards, estimates):
+            cores.extend(_read_estimates(device, shard.num_owned))
+    finally:
+        _ACTIVE_SHARDS = None
+        closer = getattr(exec_obj, "close", None)
+        if closer is not None:
+            closer()
+        for device in estimates:
+            device.close()
+        sharded.close()
+
+    elapsed = time.perf_counter() - started
+    result = DecompositionResult(
+        algorithm="ShardedSemiCore*",
+        cores=cores,
+        iterations=rounds,
+        node_computations=computations,
+        io=stats.delta_since(snapshot),
+        elapsed_seconds=elapsed,
+        model_memory_bytes=peak_memory,
+        per_iteration_changes=changes,
+        engine=engine_name,
+    )
+    result.num_shards = sharded.num_shards
+    result.executor = getattr(exec_obj, "name", type(exec_obj).__name__)
+    result.max_shard_nodes = sharded.max_shard_nodes
+    result.num_boundary = sharded.num_boundary
+    return result
+
+
+# ----------------------------------------------------------------------
+# estimate-table plumbing
+# ----------------------------------------------------------------------
+
+def _read_estimates(device, count):
+    """One shard's owned estimates as an array (sequential read)."""
+    values = array(_ESTIMATE_TYPECODE)
+    if count:
+        values.frombytes(device.read_at(0, count * ESTIMATE_ENTRY_SIZE))
+    return values
+
+
+def _gather_boundary(boundary_ids, bounds, estimates):
+    """Resolve halo estimates from the owning shards' estimate tables.
+
+    ``boundary_ids`` is sorted, so the per-id point reads walk each
+    owning table in ascending offsets and the one-block cache keeps the
+    charge at one read I/O per touched block.
+    """
+    values = array(_ESTIMATE_TYPECODE)
+    owner = 0
+    for g in boundary_ids:
+        g = int(g)
+        if not bounds[owner] <= g < bounds[owner + 1]:
+            owner = bisect_right(bounds, g) - 1
+        data = estimates[owner].read_at(
+            (g - bounds[owner]) * ESTIMATE_ENTRY_SIZE,
+            ESTIMATE_ENTRY_SIZE,
+        )
+        values.frombytes(data)
+    return values
+
+
+def _apply_io(stats, io_counts):
+    """Fold a pass's scratch I/O counters into the shared stats."""
+    read_ios, write_ios, bytes_read, bytes_written = io_counts
+    stats.read_ios += read_ios
+    stats.write_ios += write_ios
+    stats.bytes_read += bytes_read
+    stats.bytes_written += bytes_written

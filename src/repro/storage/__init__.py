@@ -15,6 +15,7 @@ from repro.storage.dynamic import DynamicGraph
 from repro.storage.graphstore import GraphStorage
 from repro.storage.memgraph import MemoryGraph, normalize_edges
 from repro.storage.partition import PartitionStore
+from repro.storage.shards import Shard, ShardedGraphStorage, shard_bounds
 
 __all__ = [
     "CSRGraph",
@@ -32,4 +33,7 @@ __all__ = [
     "MemoryGraph",
     "normalize_edges",
     "PartitionStore",
+    "Shard",
+    "ShardedGraphStorage",
+    "shard_bounds",
 ]

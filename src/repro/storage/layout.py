@@ -31,6 +31,9 @@ FORMAT_VERSION = 1
 
 TABLE_NODE = 1
 TABLE_EDGE = 2
+#: Per-shard boundary table (see :mod:`repro.storage.shards`): the
+#: sorted global ids behind a shard's halo rows, one u32 per entry.
+TABLE_BOUNDARY = 3
 
 HEADER_SIZE = 64
 # magic (8s), version (u32), table type (u32), entry count (u64),

@@ -245,3 +245,47 @@ class TestReport:
         })
         assert main(["report", "--results", str(tmp_path)]) == 0
         assert "service:" not in capsys.readouterr().out
+
+
+class TestShardedDecompose:
+    def test_sharded_run(self, converted_graph, capsys):
+        assert main(["decompose", "--graph", converted_graph,
+                     "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ShardedSemiCore*" in out
+        assert "shards" in out and "3" in out
+        assert "serial" in out
+
+    def test_sharded_multiprocessing_with_output(self, converted_graph,
+                                                 tmp_path, capsys):
+        out_file = tmp_path / "cores.tsv"
+        assert main(["decompose", "--graph", converted_graph,
+                     "--shards", "2", "--executor", "multiprocessing",
+                     "--output", str(out_file)]) == 0
+        assert "multiprocessing" in capsys.readouterr().out
+        cores = [int(line.split("\t")[1])
+                 for line in out_file.read_text().splitlines()]
+        assert cores == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+
+    def test_executor_requires_shards(self, converted_graph, capsys):
+        assert main(["decompose", "--graph", converted_graph,
+                     "--executor", "serial"]) == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_shards_require_semicore_star(self, converted_graph, capsys):
+        assert main(["decompose", "--graph", converted_graph,
+                     "--algorithm", "semicore", "--shards", "2"]) == 1
+        assert "semicore*" in capsys.readouterr().err
+
+    def test_invalid_shard_count(self, converted_graph, capsys):
+        assert main(["decompose", "--graph", converted_graph,
+                     "--shards", "0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDistributedDecompose:
+    def test_distributed_algorithm(self, converted_graph, capsys):
+        assert main(["decompose", "--graph", converted_graph,
+                     "--algorithm", "distributed"]) == 0
+        out = capsys.readouterr().out
+        assert "DistributedCore" in out

@@ -124,3 +124,81 @@ class TestCLI:
     def test_main_missing_directory(self, tmp_path, capsys):
         assert main(["--results", str(tmp_path / "nope")]) == 1
         assert "no results" in capsys.readouterr().err
+
+
+class TestMergeInto:
+    """Partial runs merge into the trajectory instead of emptying it."""
+
+    def test_carries_records_for_figures_no_longer_on_disk(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        write_trajectory(directory)
+        os.remove(os.path.join(directory, "fig10.json"))
+        path = write_trajectory(directory)
+        with open(path, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+        figures = {r["figure"] for r in payload["records"]}
+        assert figures == {"Fig 9", "Fig 10"}
+        assert payload["carried_records"] == 1
+
+    def test_fresh_figures_supersede_previous_rows_wholesale(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        write_trajectory(directory)
+        write_figure(directory, "fig9.json", "Fig 9", 1.0, [
+            {"dataset": "dblp", "algorithm": "SemiCore",
+             "engine": "python", "_seconds": 0.9},
+        ])
+        path = write_trajectory(directory)
+        with open(path, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+        fig9 = [r for r in payload["records"] if r["figure"] == "Fig 9"]
+        assert len(fig9) == 1  # both old Fig 9 rows replaced
+        assert fig9[0]["metrics"] == {"seconds": 0.9}
+
+    def test_no_merge_rebuilds_from_disk_only(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        write_trajectory(directory)
+        os.remove(os.path.join(directory, "fig10.json"))
+        path = write_trajectory(directory, merge=False)
+        with open(path, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+        assert {r["figure"] for r in payload["records"]} == {"Fig 9"}
+
+    def test_count_new_records(self):
+        from benchmarks.collect_results import count_new_records
+
+        previous = [{"figure": "F", "metrics": {"seconds": 1.0}}]
+        same = [{"figure": "F", "metrics": {"seconds": 1.0}}]
+        fresh = [{"figure": "F", "metrics": {"seconds": 2.0}}]
+        assert count_new_records(same, previous) == 0
+        assert count_new_records(fresh, previous) == 1
+        assert count_new_records(same + fresh, previous) == 1
+
+
+class TestRequireNew:
+    def test_fails_when_nothing_new(self, tmp_path, capsys):
+        directory = sample_results_dir(tmp_path)
+        assert main(["--results", directory]) == 0
+        # Re-running against the just-written output gains nothing.
+        assert main(["--results", directory, "--require-new"]) == 1
+        assert "no new rows" in capsys.readouterr().err
+
+    def test_passes_against_stale_baseline(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        assert main(["--results", directory]) == 0
+        baseline = str(tmp_path / "baseline.json")
+        import shutil
+        shutil.copy(os.path.join(directory, "BENCH_RESULTS.json"),
+                    baseline)
+        write_figure(directory, "fig9.json", "Fig 9", 1.0, [
+            {"dataset": "dblp", "algorithm": "SemiCore",
+             "engine": "python", "_seconds": 0.5},
+        ])
+        assert main(["--results", directory, "--require-new",
+                     "--previous", baseline]) == 0
+
+    def test_reports_new_and_carried_counts(self, tmp_path, capsys):
+        directory = sample_results_dir(tmp_path)
+        assert main(["--results", directory]) == 0
+        out = capsys.readouterr().out
+        assert "3 collected" in out
+        assert "3 new vs baseline" in out

@@ -1,0 +1,304 @@
+"""Tests for sharded SemiCore* (:mod:`repro.core.sharded`).
+
+The acceptance contract: bit-identical cores to ``semi_core_star`` for
+every shard count, engine and executor; identical ``IOStats`` totals
+between the serial and multiprocessing executors; and a per-shard
+``model_memory_bytes`` bounded by the largest shard rather than the
+whole graph.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.engines import available_engines, register_engine
+from repro.core.semicore_star import semi_core_star
+from repro.core.sharded import (
+    MultiprocessingShardExecutor,
+    SerialShardExecutor,
+    executor_names,
+    get_executor,
+    register_executor,
+    sharded_semi_core_star,
+)
+from repro.datasets.generators import (
+    paper_example_graph,
+    path_graph,
+    social_graph,
+)
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.errors import ReproError
+from repro.storage.graphstore import GraphStorage
+
+from tests.conftest import graph_edges
+
+requires_numpy = pytest.mark.skipif("numpy" not in available_engines(),
+                                    reason="numpy engine unavailable")
+
+ENGINES = [engine for engine in ("python", "numpy")
+           if engine in available_engines()]
+
+
+def shard_counts(n):
+    """The contract's shard-count set: {1, 2, 3, 7, n}."""
+    return sorted({1, 2, 3, 7, max(1, n)})
+
+
+def reference_cores(edges, n):
+    return list(semi_core_star(GraphStorage.from_edges(edges, n)).cores)
+
+
+class TestParity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("executor", ["serial", "multiprocessing"])
+    def test_paper_graph_all_shard_counts(self, engine, executor):
+        edges, n = paper_example_graph()
+        expected = [3, 3, 3, 3, 2, 2, 2, 2, 1]
+        for num_shards in shard_counts(n):
+            storage = GraphStorage.from_edges(edges, n)
+            result = sharded_semi_core_star(storage, num_shards,
+                                            engine=engine,
+                                            executor=executor)
+            assert list(result.cores) == expected, (num_shards, engine)
+            assert result.algorithm == "ShardedSemiCore*"
+            assert result.engine == engine
+            assert result.executor == executor
+            assert result.num_shards == num_shards
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @given(graph_edges(max_nodes=20))
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_graphs_every_shard_count(self, engine, graph):
+        edges, n = graph
+        expected = reference_cores(edges, n)
+        for num_shards in shard_counts(n):
+            storage = GraphStorage.from_edges(edges, n)
+            result = sharded_semi_core_star(storage, num_shards,
+                                            engine=engine)
+            assert list(result.cores) == expected, (num_shards, engine)
+
+    @pytest.mark.parametrize("dataset", dataset_names())
+    def test_dataset_proxies_both_engines_both_executors(self, dataset):
+        storage = load_dataset(dataset, scale=0.04)
+        expected = list(semi_core_star(storage).cores)
+        n = storage.num_nodes
+        num_shards = min(3, max(1, n))
+        for engine in ENGINES:
+            for executor in ("serial", "multiprocessing"):
+                graph = load_dataset(dataset, scale=0.04)
+                result = sharded_semi_core_star(graph, num_shards,
+                                                engine=engine,
+                                                executor=executor)
+                assert list(result.cores) == expected, (dataset, engine,
+                                                        executor)
+
+    def test_file_backed_shards(self, tmp_path):
+        edges, n = social_graph(150, 2, 8, seed=2)
+        expected = reference_cores(edges, n)
+        for executor in ("serial", "multiprocessing"):
+            storage = GraphStorage.from_edges(
+                edges, n, path=str(tmp_path / ("g_" + executor)))
+            result = sharded_semi_core_star(
+                storage, 4, executor=executor,
+                path=str(tmp_path / ("shards_" + executor)))
+            assert list(result.cores) == expected
+
+
+class TestExecutorContract:
+    def test_serial_and_multiprocessing_identical(self):
+        """Cores, rounds, computations and IOStats must all agree."""
+        for seed, num_shards in ((1, 2), (5, 4), (9, 7)):
+            edges, n = social_graph(300, 2, 8, seed=seed)
+            runs = {}
+            for executor in ("serial", "multiprocessing"):
+                storage = GraphStorage.from_edges(edges, n)
+                runs[executor] = sharded_semi_core_star(
+                    storage, num_shards, executor=executor)
+            serial, multi = runs["serial"], runs["multiprocessing"]
+            assert list(serial.cores) == list(multi.cores)
+            assert serial.iterations == multi.iterations
+            assert serial.node_computations == multi.node_computations
+            assert serial.io == multi.io  # the full IOStats totals
+
+    @requires_numpy
+    def test_executor_identity_under_numpy_engine(self):
+        edges, n = social_graph(200, 2, 6, seed=3)
+        runs = {}
+        for executor in ("serial", "multiprocessing"):
+            storage = GraphStorage.from_edges(edges, n)
+            runs[executor] = sharded_semi_core_star(
+                storage, 3, engine="numpy", executor=executor)
+        assert list(runs["serial"].cores) == list(runs["multiprocessing"].cores)
+        assert runs["serial"].io == runs["multiprocessing"].io
+
+    def test_unknown_executor_rejected(self, paper_storage):
+        with pytest.raises(ReproError, match="unknown executor"):
+            sharded_semi_core_star(paper_storage, 2, executor="quantum")
+
+    def test_executor_names_and_registry(self):
+        assert "serial" in executor_names()
+        assert "multiprocessing" in executor_names()
+        register_executor("testexec", SerialShardExecutor)
+        try:
+            assert "testexec" in executor_names()
+            assert isinstance(get_executor("testexec"),
+                              SerialShardExecutor)
+        finally:
+            from repro.core.sharded import EXECUTORS
+            EXECUTORS.pop("testexec", None)
+
+    def test_custom_executor_object(self, paper_graph):
+        edges, n = paper_graph
+
+        class Recording(SerialShardExecutor):
+            name = "recording"
+            calls = 0
+
+            def run(self, fn, tasks):
+                Recording.calls += 1
+                return super().run(fn, tasks)
+
+        storage = GraphStorage.from_edges(edges, n)
+        result = sharded_semi_core_star(storage, 2,
+                                        executor=Recording())
+        assert Recording.calls == result.iterations
+        assert result.executor == "recording"
+
+    def test_object_without_run_rejected(self, paper_storage):
+        with pytest.raises(ReproError, match="run"):
+            get_executor(object())
+
+    def test_run_only_executor_object_accepted(self, paper_graph):
+        """close() is optional on ad-hoc executors; the driver probes."""
+        edges, n = paper_graph
+
+        class RunOnly:
+            def run(self, fn, tasks):
+                return [fn(task) for task in tasks]
+
+        storage = GraphStorage.from_edges(edges, n)
+        result = sharded_semi_core_star(storage, 2, executor=RunOnly())
+        assert result.kmax == 3
+
+    def test_multiprocessing_executor_reusable_after_close(self):
+        """The driver closes the pool each run; reuse must re-fork."""
+        executor = MultiprocessingShardExecutor(processes=2)
+        edges, n = social_graph(120, 2, 6, seed=6)
+        expected = reference_cores(edges, n)
+        for _ in range(2):
+            storage = GraphStorage.from_edges(edges, n)
+            result = sharded_semi_core_star(storage, 3,
+                                            executor=executor)
+            assert list(result.cores) == expected
+
+    def test_invalid_process_count_rejected(self):
+        with pytest.raises(ReproError, match="processes"):
+            MultiprocessingShardExecutor(processes=0)
+
+    def test_worker_crash_propagates_cleanly(self, paper_graph):
+        """A failing shard pass surfaces its error; no hang, no leak."""
+        edges, n = paper_graph
+
+        def crashing_pass(graph, *, initial_cores, frozen_from):
+            raise ValueError("shard pass boom")
+
+        register_engine("crashy", "failure-injection test double",
+                        lambda: {"shard-pass": crashing_pass})
+        try:
+            for executor in ("serial", "multiprocessing"):
+                storage = GraphStorage.from_edges(edges, n)
+                with pytest.raises(ValueError, match="shard pass boom"):
+                    sharded_semi_core_star(storage, 2, engine="crashy",
+                                           executor=executor)
+            import repro.core.sharded as sharded_module
+            assert sharded_module._ACTIVE_SHARDS is None
+            # The driver is reusable after a crashed run.
+            storage = GraphStorage.from_edges(edges, n)
+            result = sharded_semi_core_star(storage, 2)
+            assert result.kmax == 3
+        finally:
+            from repro.core.engines import _REGISTRY
+            _REGISTRY.pop("crashy", None)
+
+    def test_unknown_engine_rejected_before_build(self, paper_storage):
+        with pytest.raises(ReproError, match="unknown engine"):
+            sharded_semi_core_star(paper_storage, 2, engine="fortran")
+
+
+class TestMemoryBound:
+    def test_working_set_bounded_by_largest_shard(self):
+        """python-kernel bound: 28 bytes/row of the largest shard plus
+        the adjacency buffer."""
+        edges, n = social_graph(400, 2, 8, seed=7)
+        storage = GraphStorage.from_edges(edges, n)
+        max_degree = max(storage.read_degrees())
+        result = sharded_semi_core_star(storage, 4)
+        assert result.model_memory_bytes <= \
+            28 * result.max_shard_nodes + 8 * max_degree
+
+    def test_memory_shrinks_below_unsharded_on_local_graphs(self):
+        edges, n = path_graph(2400)
+        full = semi_core_star(GraphStorage.from_edges(edges, n))
+        result = sharded_semi_core_star(GraphStorage.from_edges(edges, n),
+                                        8)
+        assert list(result.cores) == list(full.cores)
+        assert result.max_shard_nodes < n // 4
+        assert result.model_memory_bytes < full.model_memory_bytes
+
+    def test_memory_independent_of_total_size(self):
+        """Fixed shard size, growing graph: the working set stays put."""
+        small_edges, small_n = path_graph(1200)
+        big_edges, big_n = path_graph(2400)
+        small = sharded_semi_core_star(
+            GraphStorage.from_edges(small_edges, small_n), 4)
+        big = sharded_semi_core_star(
+            GraphStorage.from_edges(big_edges, big_n), 8)
+        assert big.max_shard_nodes == small.max_shard_nodes
+        assert big.model_memory_bytes == small.model_memory_bytes
+
+    @requires_numpy
+    def test_numpy_working_set_shrinks_too(self):
+        edges, n = path_graph(2400)
+        full = semi_core_star(GraphStorage.from_edges(edges, n),
+                              engine="numpy")
+        result = sharded_semi_core_star(GraphStorage.from_edges(edges, n),
+                                        8, engine="numpy")
+        assert list(result.cores) == list(full.cores)
+        assert result.model_memory_bytes < full.model_memory_bytes
+
+
+class TestResultShape:
+    def test_round_trace_and_metadata(self, paper_graph):
+        edges, n = paper_graph
+        storage = GraphStorage.from_edges(edges, n)
+        result = sharded_semi_core_star(storage, 3, trace_changes=True)
+        assert result.per_iteration_changes[-1] == 0
+        assert len(result.per_iteration_changes) == result.iterations
+        assert sum(result.per_iteration_changes) > 0
+        assert result.num_boundary > 0
+        assert result.max_shard_nodes >= (n + 2) // 3
+
+    def test_single_shard_matches_reference_exactly(self, paper_graph):
+        edges, n = paper_graph
+        storage = GraphStorage.from_edges(edges, n)
+        result = sharded_semi_core_star(storage, 1)
+        reference = semi_core_star(GraphStorage.from_edges(edges, n))
+        assert list(result.cores) == list(reference.cores)
+        assert result.num_boundary == 0
+        # One convergence round plus the fixpoint-confirming round.
+        assert result.iterations == 2
+
+    def test_empty_graph(self):
+        storage = GraphStorage.from_edges([], 0)
+        result = sharded_semi_core_star(storage, 2)
+        assert len(result.cores) == 0
+        assert result.iterations == 1
+
+    def test_io_accounting_shares_graph_stats(self, paper_graph):
+        edges, n = paper_graph
+        storage = GraphStorage.from_edges(edges, n)
+        before = storage.io_stats.snapshot()
+        result = sharded_semi_core_star(storage, 2)
+        delta = storage.io_stats.delta_since(before)
+        assert result.io == delta
+        assert result.io.read_ios > 0
+        assert result.io.write_ios > 0  # shard build + estimate tables
