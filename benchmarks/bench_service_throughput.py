@@ -16,6 +16,14 @@ Assertions encode the serving contract:
 * at full bench scale the cached zipfian read path is >= 5x faster than
   the uncached one (the ISSUE's acceptance floor) -- reduced scales
   only need to not lose.
+
+The concurrent section races reader threads against a live writer over
+the snapshot-isolated read plane: an idle pass (readers only) and a
+write-load pass (>= 20 ``apply()`` swaps under >= 2,000 mixed reads).
+Always asserted, at any scale: zero torn reads, zero epoch-window
+violations, and every returned value equal to a single-threaded replay
+at the epoch the read observed.  At full scale the read p99 under write
+load must stay within 5x of the idle-read p99.
 """
 
 from repro.core.engines import available_engines
@@ -24,7 +32,9 @@ from repro.service import (
     generate_queries,
     generate_updates,
     in_batches,
+    run_concurrent_workload,
     run_mixed_workload,
+    verify_epoch_coherence,
 )
 
 from benchmarks.conftest import BENCH_SCALE, load_bench_dataset, once
@@ -61,6 +71,15 @@ ENGINES = [name for name in ("python", "numpy")
            if name in available_engines()]
 
 CACHED_SPEEDUP_FLOOR = 5.0
+
+#: Concurrent section: 4 readers, >= 2000 reads racing >= 20 swaps
+#: (the ISSUE acceptance floor), p99 under write load within 5x of the
+#: idle-read p99 at full scale.
+READER_THREADS = 4
+CONCURRENT_READS = 3000
+CONCURRENT_UPDATES = 240
+CONCURRENT_BATCH = 10
+WRITE_LOAD_P99_FACTOR = 5.0
 
 
 def _run_service_workload(engine, cache_capacity):
@@ -141,3 +160,88 @@ def test_service_throughput(benchmark, results):
 def reference_epoch(outcome):
     """Every run applies the same batches, so epochs must agree."""
     return outcome[ENGINES[0]]["cached"]["epoch"]
+
+
+def _concurrent_service(engine):
+    storage = load_bench_dataset(DATASET)
+    return CoreService.from_storage(storage, engine=engine,
+                                    cache_capacity=CACHE_CAPACITY)
+
+
+def test_service_concurrent_throughput(benchmark, results):
+    outcome = {}
+
+    def run():
+        for engine in ENGINES:
+            service = _concurrent_service(engine)
+            kmax = service.degeneracy()
+            queries = generate_queries(service.num_nodes, kmax,
+                                       CONCURRENT_READS,
+                                       seed=QUERY_SEED, mix=QUERY_MIX,
+                                       max_depth=MAX_QUERY_DEPTH)
+            updates = generate_updates(list(service.graph.edges()),
+                                       service.num_nodes,
+                                       CONCURRENT_UPDATES,
+                                       seed=UPDATE_SEED)
+            batches = in_batches(updates, CONCURRENT_BATCH)
+            # Idle pass: 4 readers, no writer -- the latency baseline.
+            idle = run_concurrent_workload(
+                service, queries, [], reader_threads=READER_THREADS)
+            # Write-load pass: the same readers race 24 apply() swaps.
+            loaded = run_concurrent_workload(
+                service, queries, batches,
+                reader_threads=READER_THREADS)
+            # Ground truth: replay the batches single-threaded and
+            # recompute every (epoch, query) pair the races observed.
+            mismatches = verify_epoch_coherence(
+                lambda: _concurrent_service(engine), batches,
+                idle["records"] + loaded["records"])
+            service.close()
+            outcome[engine] = {"idle": idle, "loaded": loaded,
+                               "mismatches": mismatches}
+
+    once(benchmark, run)
+
+    for engine in ENGINES:
+        for mode, metrics in (("idle-concurrent",
+                               outcome[engine]["idle"]),
+                              ("write-load",
+                               outcome[engine]["loaded"])):
+            results.add(
+                "Concurrent serving (%s)" % DATASET,
+                engine=engine,
+                mode=mode,
+                readers=READER_THREADS,
+                reads=metrics["reads"],
+                swaps=metrics["swaps"],
+                torn=metrics["torn_reads"],
+                qps="%.0f" % metrics["qps"],
+                p50="%.1fus" % (1e6 * metrics["p50_seconds"]),
+                p99="%.1fus" % (1e6 * metrics["p99_seconds"]),
+                p999="%.1fus" % (1e6 * metrics["p999_seconds"]),
+                _qps=metrics["qps"],
+                _elapsed_seconds=metrics["elapsed_seconds"],
+                _p50_seconds=metrics["p50_seconds"],
+                _p99_seconds=metrics["p99_seconds"],
+                _p999_seconds=metrics["p999_seconds"],
+            )
+
+    for engine in ENGINES:
+        idle = outcome[engine]["idle"]
+        loaded = outcome[engine]["loaded"]
+        # The ISSUE acceptance floor: >= 2000 reads race >= 20 swaps
+        # with zero torn reads, and every value matches the replay.
+        assert loaded["reads"] >= 2000
+        assert loaded["swaps"] >= 20
+        assert idle["torn_reads"] == 0
+        assert loaded["torn_reads"] == 0
+        assert outcome[engine]["mismatches"] == [], \
+            "%s: concurrent reads diverged from replay: %r" \
+            % (engine, outcome[engine]["mismatches"][:3])
+        if BENCH_SCALE >= 1.0:
+            assert loaded["p99_seconds"] <= \
+                WRITE_LOAD_P99_FACTOR * idle["p99_seconds"], \
+                "%s: read p99 under write load %.1fus exceeds %.0fx " \
+                "the idle p99 %.1fus" \
+                % (engine, 1e6 * loaded["p99_seconds"],
+                   WRITE_LOAD_P99_FACTOR, 1e6 * idle["p99_seconds"])

@@ -161,12 +161,15 @@ def _cmd_serve(args):
         generate_queries,
         generate_updates,
         in_batches,
+        run_concurrent_workload,
         run_mixed_workload,
     )
 
     if args.batch_size < 1:
         raise ReproError("--batch-size must be positive, got %d"
                          % args.batch_size)
+    if args.threads < 0:
+        raise ReproError("--threads must be >= 0, got %d" % args.threads)
     if args.cache_capacity < 0:
         raise ReproError("--cache-capacity must be >= 0, got %d"
                          % args.cache_capacity)
@@ -198,19 +201,35 @@ def _cmd_serve(args):
                                service.num_nodes, args.updates,
                                seed=args.seed)
     batches = in_batches(updates, args.batch_size) if updates else []
-    metrics = run_mixed_workload(service, queries, batches)
-    rows = [
-        ("queries", format_count(metrics["queries"])),
-        ("updates applied", format_count(metrics["updates"])),
-        ("epoch", str(metrics["epoch"])),
-        ("queries/sec", format_count(int(metrics["qps"]))),
-        ("p50 latency", format_seconds(metrics["p50_seconds"])),
-        ("p99 latency", format_seconds(metrics["p99_seconds"])),
-        ("cache hit rate", "%.1f%%" % (100.0 * metrics["hit_rate"])),
-        ("read I/Os per 1k queries",
-         "%.1f" % metrics["read_ios_per_1k_queries"]),
-        ("kmax", str(service.degeneracy())),
-    ]
+    if args.threads:
+        metrics = run_concurrent_workload(service, queries, batches,
+                                          reader_threads=args.threads)
+        rows = [
+            ("reader threads", str(metrics["reader_threads"])),
+            ("reads", format_count(metrics["reads"])),
+            ("updates applied", format_count(metrics["updates"])),
+            ("epoch swaps", str(metrics["swaps"])),
+            ("torn reads", str(metrics["torn_reads"])),
+            ("queries/sec", format_count(int(metrics["qps"]))),
+            ("p50 latency", format_seconds(metrics["p50_seconds"])),
+            ("p99 latency", format_seconds(metrics["p99_seconds"])),
+            ("p99.9 latency", format_seconds(metrics["p999_seconds"])),
+            ("kmax", str(service.degeneracy())),
+        ]
+    else:
+        metrics = run_mixed_workload(service, queries, batches)
+        rows = [
+            ("queries", format_count(metrics["queries"])),
+            ("updates applied", format_count(metrics["updates"])),
+            ("epoch", str(metrics["epoch"])),
+            ("queries/sec", format_count(int(metrics["qps"]))),
+            ("p50 latency", format_seconds(metrics["p50_seconds"])),
+            ("p99 latency", format_seconds(metrics["p99_seconds"])),
+            ("cache hit rate", "%.1f%%" % (100.0 * metrics["hit_rate"])),
+            ("read I/Os per 1k queries",
+             "%.1f" % metrics["read_ios_per_1k_queries"]),
+            ("kmax", str(service.degeneracy())),
+        ]
     if service.journal is not None:
         jstats = service.journal.stats()
         rows += [
@@ -424,6 +443,9 @@ def build_parser():
                         "covered by a checkpoint are compacted away)")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (same seed, same stream)")
+    p.add_argument("--threads", type=int, default=0,
+                   help="reader threads racing the update writer "
+                        "(0 = single-threaded interleaved workload)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("verify", help="audit stored graph tables")

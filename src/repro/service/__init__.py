@@ -4,6 +4,10 @@ Everything needed to *keep* a decomposition rather than just compute it:
 
 * :class:`~repro.service.core_service.CoreService` -- lifecycle, read
   queries, batched updates, checkpointed restarts;
+* :class:`~repro.service.snapshot.EpochSnapshot` /
+  :class:`~repro.service.snapshot.SnapshotView` -- the immutable
+  per-epoch read plane with refcounted retirement (snapshot-isolated
+  concurrent serving);
 * :class:`~repro.service.cache.ServiceCache` /
   :class:`~repro.service.cache.CacheStats` -- the read-through LRU with
   epoch-based invalidation;
@@ -20,18 +24,23 @@ from repro.service.journal import (
     DEFAULT_SEGMENT_EVENTS,
     EventJournal,
 )
+from repro.service.snapshot import EpochSnapshot, SnapshotView
 from repro.service.workload import (
     ZipfianSampler,
     execute_query,
     generate_queries,
     generate_updates,
     in_batches,
+    run_concurrent_workload,
     run_mixed_workload,
     run_queries,
+    verify_epoch_coherence,
 )
 
 __all__ = [
     "CoreService",
+    "EpochSnapshot",
+    "SnapshotView",
     "ServiceCache",
     "CacheStats",
     "EventJournal",
@@ -43,4 +52,6 @@ __all__ = [
     "execute_query",
     "run_queries",
     "run_mixed_workload",
+    "run_concurrent_workload",
+    "verify_epoch_coherence",
 ]

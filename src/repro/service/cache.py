@@ -25,9 +25,25 @@ k-core *subgraph* even when no core number moves).  Hence per batch:
 Over-eviction is always safe (the service recomputes); under-eviction
 would break the byte-identical cache-on/cache-off contract asserted in
 ``tests/test_service.py``.
+
+Concurrency (PR 6)
+------------------
+The cache is shared between reader threads and the writer, so every
+operation holds the internal :attr:`ServiceCache.lock`.  Entries are
+tagged with the epoch their value was computed at, and invalidation
+evicts an entry the moment a batch could change it -- therefore a
+resident entry tagged ``e`` is valid for *every* epoch in
+``[e, current]``.  A reader pinned to an older snapshot passes its
+epoch to :meth:`ServiceCache.get`: entries tagged *newer* than the
+pinned epoch are rejected (counted in ``stats.stale``), because they
+may reflect state the reader's snapshot predates.  The service guards
+the put side symmetrically: a value computed on a stale snapshot is
+never inserted (see ``CoreService._cached``).
 """
 
 from __future__ import annotations
+
+import threading
 
 from collections import OrderedDict
 
@@ -42,13 +58,17 @@ DEFAULT_CAPACITY = 4096
 class CacheStats:
     """Hit/miss/eviction counters, surfaced next to the graph's IOStats."""
 
-    __slots__ = ("hits", "misses", "evictions", "invalidations")
+    __slots__ = ("hits", "misses", "evictions", "invalidations", "stale")
 
     def __init__(self):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Probes that found an entry but rejected it because it was
+        #: tagged with an epoch newer than the reader's snapshot (also
+        #: counted in ``misses`` -- the reader recomputes).
+        self.stale = 0
 
     @property
     def lookups(self):
@@ -67,6 +87,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "stale": self.stale,
             "hit_rate": self.hit_rate,
         }
 
@@ -90,38 +111,59 @@ class ServiceCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries = OrderedDict()
+        #: Guards every cache operation; the service also takes it to
+        #: make "check the snapshot is still current, then put" and
+        #: "swap, then invalidate" mutually exclusive (an RLock so those
+        #: composite sections can call the public methods).
+        self.lock = threading.RLock()
 
     def __len__(self):
-        return len(self._entries)
+        with self.lock:
+            return len(self._entries)
 
     def __contains__(self, key):
-        return key in self._entries
+        with self.lock:
+            return key in self._entries
 
     # -- read-through protocol ----------------------------------------------
-    def get(self, key):
-        """Probe for ``key``; returns ``(hit, value)`` and counts the probe."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return False, None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return True, entry[0]
+    def get(self, key, max_epoch=None):
+        """Probe for ``key``; returns ``(hit, value)`` and counts the probe.
+
+        With ``max_epoch`` the probe only hits entries tagged at that
+        epoch or earlier: a reader pinned to epoch ``e`` must never be
+        served a value computed at a later epoch (resident entries are
+        valid *forward* -- invalidation evicts them the moment a batch
+        could change them -- but never backward).
+        """
+        with self.lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return False, None
+            if max_epoch is not None and entry[1] > max_epoch:
+                self.stats.misses += 1
+                self.stats.stale += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True, entry[0]
 
     def put(self, key, value, epoch):
         """Store ``value`` computed at index ``epoch``, evicting LRU entries."""
         if self.capacity == 0:
             return
-        self._entries[key] = (value, epoch)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self.lock:
+            self._entries[key] = (value, epoch)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def entry_epoch(self, key):
         """Index epoch a cached entry was computed at (None when absent)."""
-        entry = self._entries.get(key)
-        return None if entry is None else entry[1]
+        with self.lock:
+            entry = self._entries.get(key)
+            return None if entry is None else entry[1]
 
     # -- invalidation -------------------------------------------------------
     def invalidate(self, changed_nodes=(), max_core_touched=0):
@@ -133,6 +175,11 @@ class ServiceCache:
         """
         changed = set(changed_nodes)
         doomed = []
+        with self.lock:
+            return self._invalidate_locked(changed, max_core_touched,
+                                           doomed)
+
+    def _invalidate_locked(self, changed, max_core_touched, doomed):
         for key in self._entries:
             kind = key[0]
             if kind == "coreness":
@@ -157,8 +204,9 @@ class ServiceCache:
 
     def clear(self):
         """Drop every entry (counted as invalidations)."""
-        self.stats.invalidations += len(self._entries)
-        self._entries.clear()
+        with self.lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
 
     def __repr__(self):
         return "ServiceCache(entries=%d, capacity=%d, hit_rate=%.2f)" % (

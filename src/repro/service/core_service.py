@@ -5,15 +5,23 @@ asks for: it owns a :class:`~repro.storage.dynamic.DynamicGraph` plus a
 maintained ``core[]``/``cnt[]`` index and serves read queries while
 absorbing an edge-update stream.  The three moving parts:
 
-* **read path** -- every query goes through a read-through
-  :class:`~repro.service.cache.ServiceCache`; misses compute from the
-  maintained index (and, for subgraph extraction, from I/O-counted
-  adjacency reads).  Results are byte-identical with the cache on or
-  off, and across execution engines.
+* **read path** -- every query is answered from the *published*
+  :class:`~repro.service.snapshot.EpochSnapshot` (a frozen ``core[]``
+  copy plus frozen adjacency rows), through a read-through
+  :class:`~repro.service.cache.ServiceCache` whose probes are gated by
+  the reader's pinned epoch.  Reads never touch the mutable maintainer
+  state, so any number of threads can query while a batch applies;
+  :meth:`read_view` pins one epoch across a whole sequence of reads.
+  Results are byte-identical with the cache on or off, and across
+  execution engines.
 * **write path** -- :meth:`apply` journals a batch of ``("+"|"-", u, v)``
   events (write-ahead), routes it through the maintenance algorithms of
-  Section V (``engine=`` respected end-to-end), bumps the index *epoch*
-  and evicts only the affected cache entries.
+  Section V (``engine=`` respected end-to-end) against the *private*
+  next-epoch state, builds the next snapshot (sharing every untouched
+  adjacency row), and publishes it with a single atomic epoch-pointer
+  swap -- only then is the epoch visible and are the affected cache
+  entries evicted.  The superseded snapshot retires once its last
+  in-flight reader releases it.
 * **durability** -- every ``checkpoint_interval`` batches the service
   checkpoints the ``core``/``cnt`` arrays
   (:mod:`repro.core.maintenance.checkpoint`) *plus* the net edge delta
@@ -38,11 +46,12 @@ import heapq
 import json
 import os
 import struct
+import threading
 import zlib
 from array import array
 
 from repro.bench.harness import run_decomposition
-from repro.core.kcore import core_histogram, degeneracy, k_core_nodes
+from repro.core.kcore import core_histogram, k_core_nodes
 from repro.core.maintenance.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.maintenance.maintainer import CoreMaintainer
 from repro.errors import (
@@ -58,6 +67,7 @@ from repro.service.journal import (
     EventJournal,
     fsync_path as _fsync_path,
 )
+from repro.service.snapshot import EpochSnapshot, SnapshotView
 from repro.storage.dynamic import DEFAULT_BUFFER_CAPACITY, DynamicGraph
 from repro.storage.graphstore import GraphStorage
 
@@ -130,12 +140,27 @@ class CoreService:
         #: path) and therefore must close; caller-provided storage
         #: stays the caller's.
         self._owned_storage = None
+        #: The swap lock serializes "read the snapshot pointer and pin
+        #: it" against "replace the snapshot pointer"; it is held for a
+        #: few instructions only, never across a query or a batch.
+        self._swap_lock = threading.Lock()
+        #: Serving counters shared between reader threads.
+        self._counter_lock = threading.Lock()
+        self._snapshots_retired = 0
+        #: The published read plane: one sequential scan seeds it (the
+        #: same figure any full pass pays); each applied batch advances
+        #: it incrementally and swaps the pointer.
+        self._snapshot = EpochSnapshot.build(
+            maintainer.graph, maintainer.cores,
+            epoch=epoch, events_applied=events_applied)
         #: Test-only crash-injection points: after the journal append
-        #: but before the batch touches the index; after the checkpoint
-        #: rotated the journal but before the manifest is written; and
-        #: after the manifest is written but before compaction unlinks
-        #: covered segments.
+        #: but before the batch touches the index; after the next-epoch
+        #: state and snapshot are built but before the pointer swap
+        #: publishes them; after the checkpoint rotated the journal but
+        #: before the manifest is written; and after the manifest is
+        #: written but before compaction unlinks covered segments.
         self._crash_after_journal = None
+        self._crash_before_publish = None
         self._crash_after_rotate = None
         self._crash_before_compact = None
 
@@ -402,17 +427,33 @@ class CoreService:
         return self.graph.num_nodes
 
     def stats(self):
-        """One dict of serving counters, for reports and debugging."""
+        """One dict of serving counters, for reports and debugging.
+
+        The epoch / events / kmax triple comes from a single pinned
+        snapshot, so it is coherent even when a batch applies
+        concurrently.
+        """
         io = self.io_stats
-        stats = {
-            "epoch": self._epoch,
-            "events_applied": self._events_applied,
-            "queries_served": self._queries_served,
-            "kmax": self.degeneracy(),
-            "cache": self._cache.stats.as_dict(),
-            "read_ios": io.read_ios,
-            "write_ios": io.write_ios,
-        }
+        snap = self._pin()
+        try:
+            stats = {
+                "epoch": snap.epoch,
+                "events_applied": snap.stats["events_applied"],
+                "queries_served": self._queries_served,
+                "kmax": self._degeneracy(snap),
+                "cache": self._cache.stats.as_dict(),
+                "read_ios": io.read_ios,
+                "write_ios": io.write_ios,
+                "snapshot": {
+                    "epoch": snap.epoch,
+                    # The stats call itself holds one pin; report the
+                    # other in-flight readers.
+                    "pins": snap.refcount - 1,
+                    "retired": self._snapshots_retired,
+                },
+            }
+        finally:
+            snap.release()
         if self._journal is not None:
             stats["journal"] = self._journal.stats()
         return stats
@@ -424,81 +465,161 @@ class CoreService:
     # ------------------------------------------------------------------
     # read API
     # ------------------------------------------------------------------
+    # Every public read pins the published snapshot for exactly one
+    # query; :meth:`read_view` hands the pin to the caller instead, so a
+    # sequence of reads observes one coherent epoch however many swaps
+    # happen meanwhile.  The ``_``-prefixed twins hold the actual query
+    # logic against an explicit snapshot; nothing in them ever touches
+    # the mutable maintainer state.
+
+    def read_view(self):
+        """Pin the current epoch; returns a :class:`SnapshotView`.
+
+        Use as a context manager: every query through the view -- and
+        its ``epoch`` / ``stats`` -- answers from the same snapshot.
+        The pinned snapshot retires only after the view closes (and any
+        other in-flight readers release), so holding a view across
+        :meth:`apply` swaps is safe and coherent by construction.
+        """
+        return SnapshotView(self, self._pin())
+
+    def _pin(self):
+        with self._swap_lock:
+            return self._snapshot.acquire()
+
     def coreness(self, v):
         """Core number of node ``v``.
 
         Validation precedes accounting throughout the read API: a
         rejected query is never counted as served.
         """
-        v = self._check_node(v)
-        self._queries_served += 1
-        return self._cached(("coreness", v),
-                            lambda: self._maintainer.core(v))
+        snap = self._pin()
+        try:
+            return self._coreness(snap, v)
+        finally:
+            snap.release()
 
     def coreness_many(self, nodes):
-        """Core numbers for a batch of nodes.
+        """Core numbers for a batch of nodes, from one pinned epoch.
 
-        Each node is one served query (and one cache probe) -- the
-        counter moves exactly as if the caller had issued
-        :meth:`coreness` per node.  The whole batch is validated first,
-        so a rejected batch counts nothing.
+        The whole batch is validated up front (a rejected batch counts
+        nothing), then each node is one served query and one cache
+        probe -- the counters move exactly as if the caller had issued
+        :meth:`coreness` per node.  Unlike per-node calls, the batch
+        pins a single snapshot, so its values can never straddle an
+        ``apply()`` swap.
         """
-        nodes = [self._check_node(v) for v in nodes]
-        core = self._maintainer.core
-        values = []
-        for v in nodes:
-            self._queries_served += 1
-            values.append(self._cached(("coreness", v),
-                                       lambda v=v: core(v)))
-        return values
+        snap = self._pin()
+        try:
+            return self._coreness_many(snap, nodes)
+        finally:
+            snap.release()
 
     def kcore_members(self, k):
         """Node ids of the k-core (``core(v) >= k``)."""
-        k = self._check_k(k)
-        self._queries_served += 1
-        value = self._cached(
-            ("members", k),
-            lambda: tuple(k_core_nodes(self._maintainer.cores, k)))
-        return list(value)
+        snap = self._pin()
+        try:
+            return self._kcore_members(snap, k)
+        finally:
+            snap.release()
 
     def kcore_subgraph(self, k):
-        """Edges of the k-core subgraph, streamed from storage.
+        """Edges of the k-core subgraph, from the epoch snapshot.
 
-        Member adjacencies are read from the (I/O-counted) graph in
-        ascending node order and filtered against the threshold; the
+        Member adjacencies are walked from the snapshot's frozen rows
+        (vectorized through its CSR artifact when numpy is available)
+        in ascending node order and filtered against the threshold; the
         result is the sorted ``(u, v)`` edge list with ``u < v``.
         """
-        k = self._check_k(k)
-        self._queries_served += 1
-        value = self._cached(("subgraph", k),
-                             lambda: self._extract_subgraph(k))
-        return list(value)
+        snap = self._pin()
+        try:
+            return self._kcore_subgraph(snap, k)
+        finally:
+            snap.release()
 
     def core_histogram(self):
         """Mapping ``k -> number of nodes with core number exactly k``."""
-        self._queries_served += 1
-        value = self._cached(
-            ("histogram",),
-            lambda: tuple(sorted(
-                core_histogram(self._maintainer.cores).items())))
-        return dict(value)
+        snap = self._pin()
+        try:
+            return self._core_histogram(snap)
+        finally:
+            snap.release()
 
     def top_k(self, k):
         """The ``k`` highest-coreness ``(node, core)`` pairs.
 
         Deterministic order: descending core number, ascending node id.
         """
-        k = self._check_k(k)
-        self._queries_served += 1
-        value = self._cached(("top", k), lambda: self._compute_top(k))
-        return list(value)
+        snap = self._pin()
+        try:
+            return self._top_k(snap, k)
+        finally:
+            snap.release()
 
     def degeneracy(self):
         """The largest core number currently present."""
-        self._queries_served += 1
-        return self._cached(
-            ("degeneracy",),
-            lambda: degeneracy(self._maintainer.cores))
+        snap = self._pin()
+        try:
+            return self._degeneracy(snap)
+        finally:
+            snap.release()
+
+    # -- query logic against an explicit snapshot -----------------------
+    def _coreness(self, snap, v):
+        v = self._check_node(v, snap.num_nodes)
+        self._count_queries(1)
+        return self._cached(snap, ("coreness", v),
+                            lambda: snap.cores[v])
+
+    def _coreness_many(self, snap, nodes):
+        # Validation is hoisted ahead of the loop: no counter moves and
+        # no cache entry is touched unless the whole batch is in range.
+        nodes = [self._check_node(v, snap.num_nodes) for v in nodes]
+        cores = snap.cores
+        values = []
+        for v in nodes:
+            self._count_queries(1)
+            values.append(self._cached(snap, ("coreness", v),
+                                       lambda v=v: cores[v]))
+        return values
+
+    def _kcore_members(self, snap, k):
+        k = self._check_k(k)
+        self._count_queries(1)
+        value = self._cached(
+            snap, ("members", k),
+            lambda: tuple(k_core_nodes(snap.cores, k)))
+        return list(value)
+
+    def _kcore_subgraph(self, snap, k):
+        k = self._check_k(k)
+        self._count_queries(1)
+        value = self._cached(snap, ("subgraph", k),
+                             lambda: self._extract_subgraph(snap, k))
+        return list(value)
+
+    def _core_histogram(self, snap):
+        self._count_queries(1)
+        value = self._cached(
+            snap, ("histogram",),
+            lambda: tuple(sorted(
+                core_histogram(snap.cores).items())))
+        return dict(value)
+
+    def _top_k(self, snap, k):
+        k = self._check_k(k)
+        self._count_queries(1)
+        value = self._cached(snap, ("top", k),
+                             lambda: self._compute_top(snap, k))
+        return list(value)
+
+    def _degeneracy(self, snap):
+        self._count_queries(1)
+        return self._cached(snap, ("degeneracy",), lambda: snap.kmax)
+
+    def _count_queries(self, n):
+        with self._counter_lock:
+            self._queries_served += n
 
     # ------------------------------------------------------------------
     # write API
@@ -651,32 +772,64 @@ class CoreService:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _cached(self, key, compute):
-        hit, value = self._cache.get(key)
+    def _cached(self, snap, key, compute):
+        """Read-through probe gated by the reader's pinned epoch.
+
+        A hit must be tagged at or before the pinned epoch (newer
+        entries may reflect state the snapshot predates).  On a miss the
+        value is computed from the snapshot and inserted -- but only if
+        the snapshot is still the published one at insert time, checked
+        under the cache lock so the check cannot interleave with the
+        writer's swap-then-invalidate sequence: either the put lands
+        before the invalidation (which then evicts it if the batch
+        affected it) or the snapshot is already superseded and the put
+        is skipped.  Skipping is always safe; inserting a stale value
+        unguarded would poison later epochs.
+        """
+        hit, value = self._cache.get(key, max_epoch=snap.epoch)
         if hit:
             return value
         value = compute()
-        self._cache.put(key, value, self._epoch)
+        with self._cache.lock:
+            if self._snapshot is snap:
+                self._cache.put(key, value, snap.epoch)
         return value
 
-    def _extract_subgraph(self, k):
-        cores = self._maintainer.cores
-        graph = self.graph
+    def _extract_subgraph(self, snap, k):
+        cores = snap.cores
+        csr = snap.csr()
         edges = []
+        if csr is not None:
+            # The snapshot's CSR artifact: filter whole adjacency
+            # slices at once.  Identical output to the row walk below
+            # (rows are ascending, slices preserve their order).
+            cores_np = snap.cores_np()
+            for v in k_core_nodes(cores, k):
+                nbrs = csr.neighbors(v)
+                keep = nbrs[(nbrs > v) & (cores_np[nbrs] >= k)]
+                edges.extend((v, int(u)) for u in keep)
+            return tuple(edges)
         for v in k_core_nodes(cores, k):
-            for u in graph.neighbors(v):
+            for u in snap.neighbors(v):
                 if u > v and cores[u] >= k:
                     edges.append((v, int(u)))
         return tuple(edges)
 
-    def _compute_top(self, k):
-        cores = self._maintainer.cores
+    def _compute_top(self, snap, k):
+        cores = snap.cores
         order = heapq.nsmallest(k, range(len(cores)),
                                 key=lambda v: (-cores[v], v))
         return tuple((v, cores[v]) for v in order)
 
     def _apply_ops(self, ops, *, batch, algorithm=None):
-        """Run one validated, already-journaled batch through maintenance."""
+        """Run one validated, already-journaled batch through maintenance.
+
+        Everything up to :meth:`_publish` mutates only the private
+        next-epoch state (maintainer arrays, graph, edge delta) and
+        builds the next snapshot; readers keep answering from the
+        published epoch throughout.  The pointer swap is the single
+        instant the batch becomes visible.
+        """
         pre = array("i", self._maintainer.cores)
         touched = 0
         for _, u, v in ops:
@@ -694,10 +847,43 @@ class CoreService:
             touched = max(touched, pre[v], cores[v])
         for op, u, v in ops:
             _toggle_delta(self._edge_delta, op, u, v)
-        self._epoch = batch
-        self._events_applied += len(ops)
-        self._cache.invalidate(summary["changed_nodes"], touched)
+        endpoints = set()
+        for _, u, v in ops:
+            endpoints.add(u)
+            endpoints.add(v)
+        snapshot = self._snapshot.advance(
+            self.graph, cores, epoch=batch,
+            events_applied=self._events_applied + len(ops),
+            touched=endpoints)
+        if self._crash_before_publish is not None:
+            self._crash_before_publish()
+        self._publish(snapshot, summary["changed_nodes"], touched)
         return self._finish_summary(summary, touched)
+
+    def _publish(self, snapshot, changed_nodes, touched):
+        """Atomically swap the read plane to ``snapshot``.
+
+        Order matters: (1) swap the pointer under the swap lock -- from
+        here on new pins see the new epoch; (2) evict the affected
+        cache entries under the cache lock -- any stale put racing this
+        either landed before (and is evicted here if affected) or
+        observes the new pointer and skips itself; (3) retire the
+        predecessor, which drops its buffers as soon as the last pinned
+        reader releases.
+        """
+        with self._swap_lock:
+            old = self._snapshot
+            self._snapshot = snapshot
+            self._epoch = snapshot.epoch
+            self._events_applied = snapshot.stats["events_applied"]
+        with self._cache.lock:
+            self._cache.invalidate(changed_nodes, touched)
+        old.on_drop = self._note_retired
+        old.retire()
+
+    def _note_retired(self, _snapshot):
+        with self._counter_lock:
+            self._snapshots_retired += 1
 
     def _finish_summary(self, summary, touched):
         """Annotate a maintainer batch summary with the serving fields."""
@@ -763,10 +949,11 @@ class CoreService:
                 "unknown insert algorithm %r (choose from %r)"
                 % (algorithm, INSERT_ALGORITHMS))
 
-    def _check_node(self, v):
-        if not 0 <= v < self.graph.num_nodes:
+    @staticmethod
+    def _check_node(v, n):
+        if not 0 <= v < n:
             raise GraphError(
-                "node %d out of range for n=%d" % (v, self.graph.num_nodes))
+                "node %d out of range for n=%d" % (v, n))
         return v
 
     @staticmethod

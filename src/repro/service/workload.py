@@ -15,6 +15,7 @@ from __future__ import annotations
 import bisect
 import itertools
 import random
+import threading
 import time
 
 #: Default query mix: (kind, weight).  Point lookups dominate, set and
@@ -240,3 +241,149 @@ def run_mixed_workload(service, queries, update_batches):
                                     if results else 0.0),
         "epoch": service.epoch,
     }
+
+
+def run_concurrent_workload(service, queries, update_batches, *,
+                            reader_threads=4):
+    """Race ``reader_threads`` reader threads against a writer.
+
+    The queries are dealt round-robin to the reader threads; the calling
+    thread is the writer, progress-paced so the swaps spread across the
+    read stream: batch ``i`` applies once the readers have completed
+    ``(i + 1) / (batches + 1)`` of all reads.  Every read runs inside its
+    own :meth:`CoreService.read_view`, so its value, epoch and stats come
+    from one pinned snapshot; the record also carries the service epoch
+    sampled just before the pin (``epoch_lo``) and just after the release
+    (``epoch_hi``) -- a linearizability-style window.  A read whose
+    observed epoch falls outside its window is a torn read and counts in
+    ``torn_reads`` (the service guarantees zero).
+
+    Returns a metrics dict with the per-read ``records`` (feed them to
+    :func:`verify_epoch_coherence`), latency percentiles including
+    p99.9, the swap count, and the torn-read count.  A reader exception
+    is re-raised here after the remaining threads drain.
+    """
+    if reader_threads < 1:
+        raise ValueError("reader_threads must be positive")
+    total = len(queries)
+    shards = [queries[index::reader_threads]
+              for index in range(reader_threads)]
+    epoch_start = service.epoch
+    progress = threading.Condition()
+    completed = [0]
+    records = []
+    records_lock = threading.Lock()
+    failures = []
+
+    def reader(shard):
+        local = []
+        try:
+            for query in shard:
+                epoch_lo = service.epoch
+                started = time.perf_counter()
+                with service.read_view() as view:
+                    value = execute_query(view, query)
+                    epoch = view.epoch
+                latency = time.perf_counter() - started
+                local.append({
+                    "query": query,
+                    "value": value,
+                    "epoch": epoch,
+                    "latency": latency,
+                    "epoch_lo": epoch_lo,
+                    "epoch_hi": service.epoch,
+                })
+                with progress:
+                    completed[0] += 1
+                    progress.notify_all()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            failures.append(exc)
+            with progress:
+                progress.notify_all()
+        finally:
+            with records_lock:
+                records.extend(local)
+
+    threads = [threading.Thread(target=reader, args=(shard,), daemon=True)
+               for shard in shards]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for index, batch in enumerate(update_batches):
+        target = (index + 1) * total // (len(update_batches) + 1)
+        with progress:
+            progress.wait_for(
+                lambda: completed[0] >= target or failures)
+        if failures:
+            break
+        service.apply(batch)
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if failures:
+        raise failures[0]
+    torn = sum(1 for record in records
+               if not record["epoch_lo"] <= record["epoch"]
+               <= record["epoch_hi"])
+    latencies = [record["latency"] for record in records]
+    return {
+        "records": records,
+        "reads": len(records),
+        "reader_threads": reader_threads,
+        "updates": sum(len(batch) for batch in update_batches),
+        "swaps": service.epoch - epoch_start,
+        "torn_reads": torn,
+        "elapsed_seconds": elapsed,
+        "qps": len(records) / elapsed if elapsed else 0.0,
+        "p50_seconds": percentile(latencies, 0.50),
+        "p99_seconds": percentile(latencies, 0.99),
+        "p999_seconds": percentile(latencies, 0.999),
+        "epoch": service.epoch,
+    }
+
+
+def verify_epoch_coherence(service_factory, update_batches, records):
+    """Check every concurrent read against a straight-through replay.
+
+    ``service_factory`` must rebuild the service in the state the
+    records' epoch 0 refers to (same seed graph, same algorithm/engine);
+    ``update_batches`` are the batches the writer applied while the
+    records were collected.  The replay applies them one at a time and
+    recomputes each distinct ``(epoch, query)`` pair the records
+    mention, single-threaded -- the ground truth snapshot isolation
+    promises.  Returns the list of mismatches (empty = every concurrent
+    read returned exactly the value its epoch's index held).
+    """
+    by_epoch = {}
+    for record in records:
+        by_epoch.setdefault(record["epoch"], set()).add(record["query"])
+    expected = {}
+    service = service_factory()
+    try:
+        base = service.epoch
+        for step in range(len(update_batches) + 1):
+            if step:
+                service.apply(update_batches[step - 1])
+            epoch = base + step
+            for query in sorted(by_epoch.get(epoch, ())):
+                expected[(epoch, query)] = execute_query(service, query)
+    finally:
+        close = getattr(service, "close", None)
+        if close is not None:
+            close()
+    mismatches = []
+    for record in records:
+        key = (record["epoch"], record["query"])
+        if key not in expected:
+            mismatches.append({
+                "query": record["query"], "epoch": record["epoch"],
+                "got": record["value"], "want": None,
+                "reason": "epoch outside the replayed range",
+            })
+        elif expected[key] != record["value"]:
+            mismatches.append({
+                "query": record["query"], "epoch": record["epoch"],
+                "got": record["value"], "want": expected[key],
+                "reason": "value diverges from replay",
+            })
+    return mismatches

@@ -13,6 +13,13 @@ from repro.storage.graphstore import GraphStorage
 from repro.storage.memgraph import MemoryGraph
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "concurrent: threaded reader/writer race tests (CI repeats "
+        "them under `pytest -m concurrent` with varying seeds)")
+
+
 def make_random_edges(rng, n, p):
     """Gnp edges with an explicit RNG (deterministic test graphs)."""
     return [(u, v) for u in range(n) for v in range(u + 1, n)

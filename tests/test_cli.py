@@ -160,6 +160,17 @@ class TestServe:
                      "--queries", "30", "--engine", "numpy"]) == 0
         assert "queries/sec" in capsys.readouterr().out
 
+    def test_concurrent_readers(self, converted_graph, capsys):
+        assert main(["serve", "--graph", converted_graph,
+                     "--queries", "80", "--updates", "12",
+                     "--batch-size", "4", "--threads", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "reader threads" in out
+        assert "epoch swaps" in out
+        assert "torn reads   " in out
+        assert "| 3" in out      # 3 reader threads
+        assert "p99.9 latency" in out
+
     def test_bad_arguments_exit_cleanly(self, converted_graph, capsys):
         assert main(["serve", "--graph", converted_graph,
                      "--batch-size", "0"]) == 1
@@ -167,6 +178,9 @@ class TestServe:
         assert main(["serve", "--graph", converted_graph,
                      "--cache-capacity", "-1"]) == 1
         assert "error" in capsys.readouterr().err
+        assert main(["serve", "--graph", converted_graph,
+                     "--threads", "-2"]) == 1
+        assert "threads" in capsys.readouterr().err
 
 
 class TestVerify:

@@ -120,6 +120,31 @@ class TestQueries:
             service.kcore_members(-1)
         assert service.queries_served == 0
 
+    def test_coreness_many_accounting_matches_coreness(self):
+        """Regression: the batch path validates up front, then moves
+        the served counter and the cache exactly as the equivalent
+        sequence of per-node :meth:`coreness` calls would."""
+        nodes = [0, 4, 8, 4, 0]
+        batched = paper_service()
+        single = paper_service()
+        values = batched.coreness_many(nodes)
+        assert values == [single.coreness(v) for v in nodes]
+        assert batched.queries_served == single.queries_served == 5
+        assert batched.cache_stats.lookups == single.cache_stats.lookups
+        assert batched.cache_stats.hits == single.cache_stats.hits == 2
+        assert batched.cache_stats.misses == single.cache_stats.misses
+
+    def test_coreness_many_rejected_batch_probes_nothing(self):
+        """Validation is hoisted ahead of the loop: a batch with any
+        out-of-range node moves no counter and touches no cache entry,
+        even when valid nodes precede the bad one."""
+        service = paper_service()
+        with pytest.raises(GraphError):
+            service.coreness_many([0, 4, 99])
+        assert service.queries_served == 0
+        assert service.cache_stats.lookups == 0
+        assert len(service.cache) == 0
+
 
 class TestSeeding:
     @pytest.mark.parametrize("algorithm", SEED_ALGORITHMS)

@@ -2,7 +2,10 @@
 
 import pytest
 
+from repro.datasets.generators import paper_example_graph
+from repro.service import CoreService
 from repro.service.cache import CacheStats, ServiceCache
+from repro.storage.graphstore import GraphStorage
 
 
 class TestLRU:
@@ -105,6 +108,86 @@ class TestInvalidationRule:
         cache.put(("mystery", 1), "x", epoch=0)
         cache.invalidate(changed_nodes=(), max_core_touched=0)
         assert ("mystery", 1) not in cache
+
+
+class TestEpochGating:
+    """Per-epoch coherence: a probe pinned to epoch N must never be
+    served an entry computed at a later epoch, and a swap must evict
+    every entry whose keyed coreness the batch changed."""
+
+    def test_get_rejects_entries_newer_than_the_pinned_epoch(self):
+        cache = ServiceCache(8)
+        cache.put(("coreness", 1), 7, epoch=3)
+        hit, value = cache.get(("coreness", 1), max_epoch=3)
+        assert hit and value == 7
+        hit, value = cache.get(("coreness", 1), max_epoch=2)
+        assert not hit and value is None
+        assert cache.stats.stale == 1
+        # Stale rejections also count as misses (the reader recomputes).
+        assert cache.stats.misses == 1
+        assert cache.stats.as_dict()["stale"] == 1
+        # Forward validity: entries older than the pinned epoch hit
+        # (invalidation would have evicted them if a batch changed them).
+        hit, value = cache.get(("coreness", 1), max_epoch=9)
+        assert hit and value == 7
+
+    def test_unbounded_probe_ignores_epoch_tags(self):
+        cache = ServiceCache(8)
+        cache.put(("degeneracy",), 4, epoch=7)
+        hit, value = cache.get(("degeneracy",))
+        assert hit and value == 4
+        assert cache.stats.stale == 0
+
+    def test_cached_at_n_never_served_at_n_plus_one_when_changed(self):
+        """Service-level satellite: ``subgraph`` / ``top`` entries
+        cached at epoch N die at the swap to N+1 when the batch touched
+        their keyed coreness -- the fresh epoch recomputes."""
+        edges, n = paper_example_graph()
+        service = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n))
+        kmax = service.degeneracy()
+        before_sub = service.kcore_subgraph(kmax)
+        before_top = service.top_k(3)
+        assert service.cache.entry_epoch(("subgraph", kmax)) == 0
+        assert service.cache.entry_epoch(("top", 3)) == 0
+        # An insert inside the deepest core changes its subgraph (and
+        # this one moves core numbers, so ("top", 3) dies too).
+        summary = service.apply([("+", 0, 4), ("+", 1, 4)])
+        assert summary["max_core_touched"] >= kmax
+        assert ("subgraph", kmax) not in service.cache
+        if summary["changed_nodes"]:
+            assert ("top", 3) not in service.cache
+        after_sub = service.kcore_subgraph(kmax)
+        after_top = service.top_k(3)
+        assert after_sub != before_sub
+        assert service.cache.entry_epoch(("subgraph", kmax)) == 1
+        assert service.cache.entry_epoch(("top", 3)) == 1
+        # The recomputed entries are the new epoch's truth.
+        uncached = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n), cache_capacity=0)
+        uncached.apply([("+", 0, 4), ("+", 1, 4)])
+        assert after_sub == uncached.kcore_subgraph(kmax)
+        assert after_top == uncached.top_k(3)
+
+    def test_stale_view_recompute_does_not_poison_the_cache(self):
+        """A reader pinned at epoch 0 recomputes (stale rejection) but
+        must not insert its epoch-0 value over the current epoch's."""
+        edges, n = paper_example_graph()
+        service = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n))
+        view = service.read_view()             # pinned at epoch 0
+        service.apply([("+", 0, 4), ("+", 1, 4)])
+        fresh = service.top_k(3)               # cached at epoch 1
+        assert service.cache.entry_epoch(("top", 3)) == 1
+        stale = view.top_k(3)                  # rejected, recomputed
+        assert service.cache_stats.stale >= 1
+        # The put guard skipped the stale value: the resident entry is
+        # still epoch 1's, and a fresh read still gets epoch 1's value.
+        assert service.cache.entry_epoch(("top", 3)) == 1
+        assert service.top_k(3) == fresh
+        if stale != fresh:
+            assert service.top_k(3) != stale
+        view.close()
 
 
 class TestStats:

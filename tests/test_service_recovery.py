@@ -145,6 +145,74 @@ class TestKillAndResume:
         assert resumed.verify()
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+class TestPublishCrashWindow:
+    """Kills between building the next-epoch snapshot and the pointer
+    swap publishing it -- the new window snapshot isolation adds.
+
+    The swap is all-or-nothing twice over: the *live* read plane never
+    shows a trace of the unpublished epoch, and the *reopened* service
+    replays the journaled batch in full (the append returned, so by the
+    durability contract the batch counts as applied) -- complete batch
+    or nothing, never partial state.
+    """
+
+    def crashed_before_publish(self, tmp_path, engine):
+        edges, n = graph_edges()
+        batches = update_batches(edges, n)
+        data_dir = tmp_path / "svc"
+        service = CoreService.from_storage(
+            GraphStorage.from_edges(edges, n), engine=engine,
+            data_dir=data_dir, checkpoint_interval=None)
+        for events in batches[:-1]:
+            service.apply(events)
+
+        def crash():
+            raise SimulatedCrash
+
+        service._crash_before_publish = crash
+        with pytest.raises(SimulatedCrash):
+            service.apply(batches[-1])
+        return edges, n, batches, data_dir, service
+
+    def test_live_read_plane_stays_on_pre_swap_epoch(self, tmp_path,
+                                                     engine):
+        edges, n, batches, data_dir, service = \
+            self.crashed_before_publish(tmp_path, engine)
+        pre_epoch = len(batches) - 1
+        # The maintainer already absorbed the batch, but nothing of the
+        # unpublished epoch is readable: epoch, stats and every value
+        # still answer the pre-swap snapshot, coherently.
+        assert service.epoch == pre_epoch
+        assert service.stats()["epoch"] == pre_epoch
+        reference = straight_through(edges, n, batches[:-1],
+                                     engine=engine)
+        with service.read_view() as view:
+            assert view.epoch == pre_epoch
+            assert view.stats["epoch"] == pre_epoch
+            assert [view.coreness(v) for v in range(n)] == \
+                list(reference.maintainer.cores)
+            assert view.degeneracy() == reference.degeneracy()
+        service.close()
+
+    def test_reopen_recovers_the_journaled_batch_wholesale(self,
+                                                           tmp_path,
+                                                           engine):
+        edges, n, batches, data_dir, service = \
+            self.crashed_before_publish(tmp_path, engine)
+        service.close()
+        resumed = CoreService.open(data_dir,
+                                   GraphStorage.from_edges(edges, n),
+                                   engine=engine)
+        reference = straight_through(edges, n, batches, engine=engine)
+        assert state_of(resumed) == state_of(reference)
+        assert resumed.verify()
+        with resumed.read_view() as view:
+            assert view.epoch == len(batches)
+            assert [view.coreness(v) for v in range(n)] == \
+                list(reference.maintainer.cores)
+
+
 @pytest.mark.skipif("numpy" not in available_engines(),
                     reason="numpy engine unavailable")
 class TestCrossEngineResume:
@@ -267,6 +335,13 @@ service._crash_after_journal = lambda: os._exit(17)
 service.apply(batches[-1])
 os._exit(1)  # unreachable: the hook killed the process mid-batch
 """
+
+#: Same child, but killed in the publish window: the next-epoch state
+#: and snapshot exist in memory, the pointer swap never happens.
+_PUBLISH_CHILD_SCRIPT = _CHILD_SCRIPT.replace(
+    "service._crash_after_journal = lambda: os._exit(17)",
+    "service._crash_before_publish = lambda: os._exit(23)",
+).replace("mid-batch", "pre-publish")
 
 
 class TestStorageOwnership:
@@ -563,6 +638,35 @@ class TestKillProcess:
             assert jrn.num_events == 28
             retained = jrn.batches(jrn.first_retained_event)
             assert [batch for batch, _ in retained] == [3, 4]
+
+        resumed = CoreService.open(data_dir)
+        batches = update_batches(edges, n)
+        reference = straight_through(edges, n, batches)
+        assert state_of(resumed) == state_of(reference)
+        assert resumed.verify()
+
+    def test_hard_kill_in_publish_window(self, tmp_path):
+        """A real ``os._exit`` between snapshot build and pointer swap:
+        the unpublished epoch dies with the process, the journaled
+        batch replays in full on open."""
+        edges, n = graph_edges()
+        prefix = str(tmp_path / "graph")
+        GraphStorage.from_edges(edges, n, path=prefix).close()
+        data_dir = str(tmp_path / "svc")
+        script = tmp_path / "crash_publish_child.py"
+        script.write_text(_PUBLISH_CHILD_SCRIPT)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, str(script), prefix, data_dir],
+            capture_output=True, text=True, env=env, timeout=240)
+        assert proc.returncode == 23, proc.stderr
+
+        # The journal acknowledged every batch before the kill.
+        with EventJournal(data_dir) as jrn:
+            assert jrn.num_events == 28
 
         resumed = CoreService.open(data_dir)
         batches = update_batches(edges, n)
