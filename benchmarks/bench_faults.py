@@ -1,0 +1,196 @@
+"""Cost of the fault-tolerance plane.
+
+Three questions a robustness layer must answer with numbers:
+
+* **Retry overhead** -- how much slower is a batch stream when a
+  seeded schedule of transient device read errors forces rollbacks and
+  retries, versus the same stream fault-free?  (The rollback path
+  copies two int32 arrays and repairs edge membership; the retry rides
+  the same maintenance kernels.)
+* **Quarantine cost** -- what does a permanently failing batch cost
+  the stream?  It burns every retry, appends a journal marker and
+  publishes a no-op epoch; the stream must keep moving.
+* **Scrub latency** -- how long does ``repro scrub`` take to walk,
+  diagnose and repair a damaged directory, relative to the restart it
+  unblocks?
+
+Rows land in ``BENCH_RESULTS.json`` through the shared results sink.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.bench.reporting import format_count, format_seconds
+from repro.errors import BatchQuarantinedError
+from repro.faults import READ_ERROR, FaultPlan, flip_bit, tear_file
+from repro.service import CoreService, scrub_directory
+from repro.service.workload import generate_updates, in_batches
+from repro.storage.graphstore import GraphStorage
+
+from benchmarks.conftest import load_bench_dataset, once
+
+DATASET = "lj"
+NUM_BATCHES = 24
+BATCH_SIZE = 8
+UPDATE_SEED = 61
+FAULT_SEED = 1601
+#: Transient read errors spread over the run -- enough to force many
+#: retries without quarantining every batch.
+FAULT_COUNT = 120
+FAULT_HORIZON = 4000
+
+
+def _faulted(storage, plan):
+    return GraphStorage(
+        plan.wrap(storage.node_device, "graph.nodes"),
+        plan.wrap(storage.edge_device, "graph.edges"),
+        storage.num_nodes, storage.num_arcs)
+
+
+def _stream(service, batches):
+    applied = quarantined = 0
+    for events in batches:
+        try:
+            service.apply(events)
+        except BatchQuarantinedError:
+            quarantined += 1
+        except Exception:
+            # Validation-time rejection under a dense fault cluster:
+            # nothing journaled, nothing lost, stream continues.
+            pass
+        else:
+            applied += 1
+    return applied, quarantined
+
+
+def _run(plan):
+    workdir = tempfile.mkdtemp(prefix="bench_faults_")
+    try:
+        storage = load_bench_dataset(DATASET)
+        seed = storage if plan is None else _faulted(storage, plan)
+        data_dir = os.path.join(workdir, "svc")
+        if plan is None:
+            service = CoreService.from_storage(
+                seed, data_dir=data_dir, retry_backoff=0.0)
+            updates = generate_updates(list(service.graph.edges()),
+                                       service.num_nodes,
+                                       NUM_BATCHES * BATCH_SIZE,
+                                       seed=UPDATE_SEED)
+        else:
+            # Harness setup must not consume the fault schedule; only
+            # the measured apply stream sees faults.
+            with plan.calm():
+                service = CoreService.from_storage(
+                    seed, data_dir=data_dir, retry_backoff=0.0)
+                updates = generate_updates(list(service.graph.edges()),
+                                           service.num_nodes,
+                                           NUM_BATCHES * BATCH_SIZE,
+                                           seed=UPDATE_SEED)
+        start = time.perf_counter()
+        applied, quarantined = _stream(service,
+                                       in_batches(updates, BATCH_SIZE))
+        elapsed = time.perf_counter() - start
+        cores = list(service.maintainer.cores)
+        if plan is None:
+            service.close()
+        else:
+            with plan.calm():
+                service.close()
+        storage.close()
+        return {"seconds": elapsed, "applied": applied,
+                "quarantined": quarantined, "cores": cores}
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def test_retry_overhead_under_transient_faults(benchmark, results):
+    outcome = {}
+
+    def run():
+        outcome["clean"] = _run(None)
+        plan = FaultPlan.random(
+            FAULT_SEED, FAULT_COUNT,
+            {"graph.nodes": (READ_ERROR,), "graph.edges": (READ_ERROR,)},
+            horizon=FAULT_HORIZON, permanent_ratio=0.0)
+        outcome["faulty"] = _run(plan)
+        outcome["fired"] = plan.report()["fired"]
+
+    once(benchmark, run)
+    clean, faulty = outcome["clean"], outcome["faulty"]
+    overhead = faulty["seconds"] / max(1e-9, clean["seconds"])
+    results.add(
+        "Fault tolerance: transient-fault retry overhead (LJ proxy)",
+        batches=NUM_BATCHES,
+        faults_fired=format_count(outcome["fired"]),
+        clean_seconds=format_seconds(clean["seconds"]),
+        faulty_seconds=format_seconds(faulty["seconds"]),
+        overhead="%.2fx" % overhead,
+        quarantined=faulty["quarantined"],
+        _clean_seconds=clean["seconds"],
+        _faulty_seconds=faulty["seconds"],
+    )
+    assert clean["applied"] == NUM_BATCHES
+    assert clean["quarantined"] == 0
+    # Survivor batches produce real state; if nothing was quarantined
+    # the runs must agree bit for bit.
+    if faulty["quarantined"] == 0 and faulty["applied"] == NUM_BATCHES:
+        assert faulty["cores"] == clean["cores"]
+
+
+def test_scrub_latency_on_damaged_directory(benchmark, results):
+    workdir = tempfile.mkdtemp(prefix="bench_scrub_")
+    try:
+        storage = load_bench_dataset(DATASET)
+        data_dir = os.path.join(workdir, "svc")
+        service = CoreService.from_storage(storage, data_dir=data_dir,
+                                           segment_events=32)
+        updates = generate_updates(list(service.graph.edges()),
+                                   service.num_nodes,
+                                   NUM_BATCHES * BATCH_SIZE,
+                                   seed=UPDATE_SEED)
+        half = NUM_BATCHES // 2
+        for index, events in enumerate(in_batches(updates, BATCH_SIZE)):
+            service.apply(events)
+            if index == half:
+                service.checkpoint()
+        service.close()
+        storage.close()
+
+        # Crash damage: torn active tail plus a flipped manifest bit.
+        segments = sorted(f for f in os.listdir(data_dir)
+                          if f.startswith("journal."))
+        active = os.path.join(data_dir, segments[-1])
+        tear_file(active, keep=os.path.getsize(active) - 5)
+        manifest = os.path.join(data_dir, "manifest.json")
+        flip_bit(manifest, offset=os.path.getsize(manifest) // 2, bit=1)
+
+        outcome = {}
+
+        def run():
+            start = time.perf_counter()
+            outcome["report"] = scrub_directory(data_dir)
+            outcome["scrub_seconds"] = time.perf_counter() - start
+            start = time.perf_counter()
+            reopened = CoreService.open(data_dir,
+                                        load_bench_dataset(DATASET))
+            outcome["reopen_seconds"] = time.perf_counter() - start
+            outcome["verified"] = reopened.verify()
+            reopened.close()
+
+        once(benchmark, run)
+        report = outcome["report"]
+        assert report["openable"], report
+        assert outcome["verified"] is True
+        results.add(
+            "Fault tolerance: scrub + reopen latency (LJ proxy)",
+            issues=format_count(len(report["issues"])),
+            repairs=format_count(len(report["actions"])),
+            scrub_seconds=format_seconds(outcome["scrub_seconds"]),
+            reopen_seconds=format_seconds(outcome["reopen_seconds"]),
+            _scrub_seconds=outcome["scrub_seconds"],
+            _reopen_seconds=outcome["reopen_seconds"],
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -239,6 +239,11 @@ def _cmd_serve(args):
                         jstats["total_events"])),
             ("journal size", format_bytes(jstats["disk_bytes"])),
         ]
+    sstats = service.stats()
+    rows += [
+        ("degraded", sstats["degraded"] or "no"),
+        ("quarantined batches", format_count(len(sstats["quarantined"]))),
+    ]
     print(format_table(("metric", "value"), rows))
     if args.data_dir:
         service.checkpoint()
@@ -250,6 +255,47 @@ def _cmd_serve(args):
     service.close()
     storage.close()
     return 0
+
+
+def _cmd_scrub(args):
+    import json
+
+    from repro.service import scrub_directory
+
+    report = scrub_directory(args.data_dir, repair=not args.dry_run,
+                             force=args.force)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        rows = [
+            ("data dir", report["data_dir"]),
+            ("openable", "yes" if report["openable"] else "no"),
+            ("issues found", format_count(len(report["issues"]))),
+            ("repairs applied", format_count(len(report["actions"]))),
+            ("segments", format_count(len(report["segments"]))),
+        ]
+        manifest = report["manifest"]
+        if manifest is not None:
+            rows += [
+                ("epoch", str(manifest["epoch"])),
+                ("events applied", format_count(
+                    manifest["events_applied"])),
+                ("quarantined batches", format_count(
+                    len(manifest["quarantined_batches"]))),
+            ]
+        print(format_table(("metric", "value"), rows))
+        for issue in report["issues"]:
+            where = issue["file"]
+            if issue.get("offset") is not None:
+                where += " @%d" % issue["offset"]
+            print("issue: %s: %s" % (where, issue["problem"]))
+        for action in report["actions"]:
+            print("repair: %s" % action)
+        if not report["openable"]:
+            remaining = report.get("remaining_issues", report["issues"])
+            print("directory is NOT openable (%d unrepaired issue(s))"
+                  % len(remaining), file=sys.stderr)
+    return 0 if report["openable"] else 1
 
 
 def _cmd_verify(args):
@@ -447,6 +493,19 @@ def build_parser():
                    help="reader threads racing the update writer "
                         "(0 = single-threaded interleaved workload)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("scrub",
+                       help="verify and repair a service data directory")
+    p.add_argument("--data-dir", required=True,
+                   help="service directory (manifest + journal) to scrub")
+    p.add_argument("--dry-run", action="store_true",
+                   help="diagnose only; do not touch anything on disk")
+    p.add_argument("--force", action="store_true",
+                   help="allow lossy repairs (truncating acknowledged "
+                        "events at a checksum-damage point)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full machine-readable report")
+    p.set_defaults(func=_cmd_scrub)
 
     p = sub.add_parser("verify", help="audit stored graph tables")
     p.add_argument("--graph", required=True)

@@ -60,7 +60,7 @@ from bisect import bisect_right
 from repro.core.engines import DEFAULT_ENGINE, engine_implementation
 from repro.core.result import DecompositionResult
 from repro.core.semicore_star import converge_star
-from repro.errors import GraphError, ReproError
+from repro.errors import ExecutorError, GraphError, ReproError
 from repro.storage.blockio import DEFAULT_BLOCK_SIZE, IOStats, \
     MemoryBlockDevice
 from repro.storage.shards import ShardedGraphStorage
@@ -133,38 +133,115 @@ class MultiprocessingShardExecutor:
     and is returned with the pass result; the driver folds it into the
     shared ``IOStats``, which keeps the combined figures identical to
     the serial executor's.  Worker exceptions propagate to the caller.
+
+    A killed worker is *detected*, not waited on: ``Pool.map`` would
+    block forever because the pool's handler thread silently respawns
+    the worker while the dead one's task is never resubmitted.  ``run``
+    instead polls a ``map_async`` result and watches the pool's worker
+    pids -- a changed pid set, or the ``task_timeout`` deadline, tears
+    the pool down and the whole round is retried on a fresh pool with
+    exponential backoff (``retry_backoff * 2**attempt``).  Retrying the
+    full round is safe and bit-identical because shard passes are pure
+    functions of the round-start estimate tables, which the driver only
+    rewrites after ``run`` returns.  After ``max_retries`` respawns the
+    typed :class:`~repro.errors.ExecutorError` propagates.
     """
 
     name = "multiprocessing"
 
-    def __init__(self, processes=None):
+    #: seconds between dead-worker polls while waiting on a round.
+    _POLL_INTERVAL = 0.05
+
+    def __init__(self, processes=None, *, task_timeout=120.0,
+                 max_retries=2, retry_backoff=0.05):
         if processes is not None and processes < 1:
             raise ReproError(
                 "processes must be >= 1, got %d" % processes
             )
+        if task_timeout is not None and task_timeout <= 0:
+            raise ReproError(
+                "task_timeout must be positive, got %r" % (task_timeout,)
+            )
+        if max_retries < 0:
+            raise ReproError(
+                "max_retries must be >= 0, got %d" % max_retries
+            )
+        if retry_backoff < 0:
+            raise ReproError(
+                "retry_backoff must be >= 0, got %r" % (retry_backoff,)
+            )
         self.processes = processes
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.respawns = 0
         self._pool = None
 
     def run(self, fn, tasks):
         if not tasks:
             return []
-        if self._pool is None:
-            # Lazily forked on the first round -- after the driver has
-            # published the active shards -- and reused across rounds
-            # (shard devices are read-only during passes, and every
-            # pass starts from dropped caches, so worker reuse cannot
-            # perturb results).  close() allows a later re-fork.
+        attempt = 0
+        while True:
+            self._ensure_pool(len(tasks))
             try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                raise ReproError(
-                    "the multiprocessing executor needs the fork start "
-                    "method; use executor='serial' on this platform"
-                ) from None
-            processes = self.processes or (os.cpu_count() or 1)
-            self._pool = context.Pool(
-                processes=max(1, min(processes, len(tasks))))
-        return self._pool.map(fn, tasks)
+                return self._run_once(fn, tasks)
+            except ExecutorError:
+                self.close()
+                if attempt >= self.max_retries:
+                    raise
+                time.sleep(self.retry_backoff * (2 ** attempt))
+                attempt += 1
+                self.respawns += 1
+
+    def _ensure_pool(self, num_tasks):
+        if self._pool is not None:
+            return
+        # Lazily forked on the first round -- after the driver has
+        # published the active shards -- and reused across rounds
+        # (shard devices are read-only during passes, and every
+        # pass starts from dropped caches, so worker reuse cannot
+        # perturb results).  close() allows a later re-fork.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            raise ReproError(
+                "the multiprocessing executor needs the fork start "
+                "method; use executor='serial' on this platform"
+            ) from None
+        processes = self.processes or (os.cpu_count() or 1)
+        self._pool = context.Pool(
+            processes=max(1, min(processes, num_tasks)))
+
+    def _worker_pids(self):
+        workers = getattr(self._pool, "_pool", None)
+        if workers is None:  # pragma: no cover - future stdlib change
+            return None
+        return frozenset(worker.pid for worker in workers)
+
+    def _run_once(self, fn, tasks):
+        pids = self._worker_pids()
+        deadline = (time.monotonic() + self.task_timeout
+                    if self.task_timeout is not None else None)
+        pending = self._pool.map_async(fn, tasks)
+        while True:
+            try:
+                return pending.get(timeout=self._POLL_INTERVAL)
+            except multiprocessing.TimeoutError:
+                pass
+            current = self._worker_pids()
+            if pids is not None and current != pids:
+                lost = sorted(pids - (current or frozenset()))
+                raise ExecutorError(
+                    "shard-pass worker died mid-round (lost pid%s %s); "
+                    "pool torn down"
+                    % ("s" if len(lost) != 1 else "",
+                       ", ".join(map(str, lost)) or "unknown"))
+            if deadline is not None and time.monotonic() > deadline:
+                raise ExecutorError(
+                    "shard-pass round exceeded task_timeout=%.1fs with "
+                    "%d task%s outstanding; pool torn down"
+                    % (self.task_timeout, len(tasks),
+                       "s" if len(tasks) != 1 else ""))
 
     def close(self):
         if self._pool is not None:

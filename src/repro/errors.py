@@ -15,7 +15,41 @@ class StorageError(ReproError):
 
 
 class CorruptStorageError(StorageError):
-    """An on-disk table failed validation (bad magic, truncated data, ...)."""
+    """An on-disk table failed validation (bad magic, truncated data, ...).
+
+    Carries the *location* of the damage as structured attributes so
+    diagnostics, scrub reports and tests never have to parse the
+    message: ``path`` (the damaged file), ``segment`` (journal segment
+    sequence number, when the file is a journal segment) and ``offset``
+    (byte offset of the damage within the file, when known).
+    """
+
+    def __init__(self, message, *, path=None, segment=None, offset=None):
+        super().__init__(message)
+        self.path = path
+        self.segment = segment
+        self.offset = offset
+
+
+class ExecutorError(ReproError):
+    """A shard executor lost a worker or timed out running a task."""
+
+
+class ServiceDegradedError(ReproError):
+    """The service refuses writes until its write plane is repaired."""
+
+
+class BatchQuarantinedError(ReproError):
+    """An update batch failed maintenance after every retry.
+
+    The batch stays journaled with a quarantine marker -- it is skipped
+    by restart replay, listed by ``stats()``, and never silently lost.
+    ``batch`` is the journal batch id.
+    """
+
+    def __init__(self, message, *, batch=None):
+        super().__init__(message)
+        self.batch = batch
 
 
 class GraphError(ReproError):

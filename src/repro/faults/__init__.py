@@ -1,0 +1,52 @@
+"""Seeded deterministic fault injection for chaos and recovery testing.
+
+The package has two halves:
+
+* :mod:`repro.faults.plan` -- :class:`FaultPlan` (the seeded schedule),
+  :class:`FaultSpec`, the injected-error types and the at-rest
+  corruption helpers :func:`flip_bit` / :func:`tear_file`;
+* :mod:`repro.faults.device` -- :class:`FaultInjectingBlockDevice`,
+  a transparent proxy over any block device that fires the plan's
+  faults.
+
+Nothing in here is imported by production code; the service, journal
+and shard layers are hardened against *storage errors in general* and
+this package merely manufactures them deterministically.
+"""
+
+from repro.faults.device import FaultInjectingBlockDevice, wrap
+from repro.faults.plan import (
+    BIT_FLIP,
+    KINDS,
+    LATENCY,
+    READ_ERROR,
+    TORN_WRITE,
+    WRITE_ERROR,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedReadError,
+    InjectedWriteError,
+    TornWriteError,
+    flip_bit,
+    tear_file,
+)
+
+__all__ = [
+    "BIT_FLIP",
+    "KINDS",
+    "LATENCY",
+    "READ_ERROR",
+    "TORN_WRITE",
+    "WRITE_ERROR",
+    "FaultInjectingBlockDevice",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedReadError",
+    "InjectedWriteError",
+    "TornWriteError",
+    "flip_bit",
+    "tear_file",
+    "wrap",
+]

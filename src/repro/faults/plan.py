@@ -1,0 +1,285 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultPlan` is the single source of truth of a fault-injection
+run: a list of :class:`FaultSpec` events, each aimed at a *target* (a
+free-form label such as ``"graph.nodes"`` or ``"journal"``) and at the
+n-th read or write operation that target performs.  Consumers pull
+faults from the plan:
+
+* :class:`~repro.faults.device.FaultInjectingBlockDevice` wraps any
+  :class:`~repro.storage.blockio.BlockDevice` and asks the plan before
+  every ``read_at`` / ``write_at``;
+* chaos drivers call :meth:`FaultPlan.next_fault` directly for
+  surfaces that do not go through block devices (journal appends,
+  checkpoint files), and use the at-rest helpers (:func:`flip_bit`,
+  :func:`tear_file`) to damage artifacts exactly as a crashed or
+  bit-rotted disk would.
+
+Everything is derived from one integer seed: :meth:`FaultPlan.random`
+generates the same schedule for the same seed, per-target operation
+counters advance deterministically, and every fired fault is appended
+to an injection log (:meth:`report`) so a failing chaos run can be
+replayed exactly.
+
+The plan can be *disarmed* (:attr:`armed` / :meth:`calm`): while
+disarmed, operations neither fire faults nor advance the counters, so
+setup phases (seeding a service, building tables) do not consume the
+schedule and the armed phase stays deterministic regardless of how
+much work preceded it.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import random
+from contextlib import contextmanager
+
+from repro.errors import StorageError
+
+#: The fault kinds a plan can schedule.
+READ_ERROR = "read-error"
+WRITE_ERROR = "write-error"
+TORN_WRITE = "torn-write"
+BIT_FLIP = "bit-flip"
+LATENCY = "latency"
+
+KINDS = (READ_ERROR, WRITE_ERROR, TORN_WRITE, BIT_FLIP, LATENCY)
+
+#: Which operation each kind attaches to.
+_KIND_OP = {
+    READ_ERROR: "read",
+    WRITE_ERROR: "write",
+    TORN_WRITE: "write",
+    BIT_FLIP: "write",
+    LATENCY: "read",
+}
+
+
+class InjectedFault:
+    """Mixin marking an exception as injected by a :class:`FaultPlan`."""
+
+
+class InjectedReadError(InjectedFault, StorageError):
+    """A scheduled transient or permanent read failure."""
+
+
+class InjectedWriteError(InjectedFault, StorageError):
+    """A scheduled transient or permanent write failure."""
+
+
+class TornWriteError(InjectedFault, StorageError):
+    """A write that persisted only a prefix before the simulated crash."""
+
+
+class FaultSpec:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    target:
+        Label the fault is aimed at; matched with :func:`fnmatch` so
+        ``"graph.*"`` hits both tables.
+    kind:
+        One of :data:`KINDS`.
+    index:
+        The 0-based operation count (per target, per op direction) the
+        fault fires at.
+    permanent:
+        When True the fault fires at *every* operation from ``index``
+        on; transient faults (the default) fire exactly once.
+    arg:
+        Kind-specific parameter: seconds for :data:`LATENCY`, the kept
+        fraction for :data:`TORN_WRITE`, the flipped bit's position
+        (as a fraction of the payload) for :data:`BIT_FLIP`.
+    """
+
+    __slots__ = ("target", "kind", "index", "permanent", "arg")
+
+    def __init__(self, target, kind, index, *, permanent=False, arg=None):
+        if kind not in KINDS:
+            raise ValueError("unknown fault kind %r (choose from %r)"
+                             % (kind, KINDS))
+        if index < 0:
+            raise ValueError("fault index must be >= 0, got %d" % index)
+        self.target = target
+        self.kind = kind
+        self.index = index
+        self.permanent = permanent
+        self.arg = arg
+
+    @property
+    def op(self):
+        """The operation direction (``"read"``/``"write"``) this hits."""
+        return _KIND_OP[self.kind]
+
+    def as_dict(self):
+        """Report form of the spec."""
+        return {"target": self.target, "kind": self.kind,
+                "index": self.index, "permanent": self.permanent,
+                "arg": self.arg}
+
+    def __repr__(self):
+        return ("FaultSpec(%r, %r, %d%s%s)"
+                % (self.target, self.kind, self.index,
+                   ", permanent" if self.permanent else "",
+                   ", arg=%r" % (self.arg,) if self.arg is not None
+                   else ""))
+
+
+class FaultPlan:
+    """A deterministic schedule of faults plus its injection log."""
+
+    def __init__(self, specs=(), *, seed=0):
+        self.specs = list(specs)
+        self.seed = seed
+        self.armed = True
+        #: per-(target, op) operation counters.
+        self._counters = {}
+        #: every fault actually fired, in firing order.
+        self._injected = []
+        #: RNG for parameters a spec left unspecified (torn-write
+        #: split points, bit positions); seeded, so still deterministic.
+        self._rng = random.Random(seed ^ 0x5EED)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def random(cls, seed, count, targets, *, horizon=200,
+               kinds=KINDS, permanent_ratio=0.05,
+               latency_seconds=0.0005):
+        """Generate a seeded schedule of ``count`` faults.
+
+        ``targets`` maps each target label to the fault kinds allowed
+        on it (an iterable, or None for every kind); ``horizon`` is the
+        operation-index range the faults spread over.  The same
+        arguments and seed always produce the same schedule.
+        """
+        rng = random.Random(seed)
+        if not isinstance(targets, dict):
+            targets = {target: None for target in targets}
+        labels = sorted(targets)
+        specs = []
+        for _ in range(count):
+            target = labels[rng.randrange(len(labels))]
+            allowed = targets[target]
+            pool = tuple(allowed) if allowed is not None else tuple(kinds)
+            kind = pool[rng.randrange(len(pool))]
+            index = rng.randrange(horizon)
+            permanent = (kind in (READ_ERROR, WRITE_ERROR)
+                         and rng.random() < permanent_ratio)
+            arg = latency_seconds if kind == LATENCY else None
+            specs.append(FaultSpec(target, kind, index,
+                                   permanent=permanent, arg=arg))
+        return cls(specs, seed=seed)
+
+    # -- arming -------------------------------------------------------------
+    @contextmanager
+    def calm(self):
+        """Context manager: no faults fire and no counters advance."""
+        saved = self.armed
+        self.armed = False
+        try:
+            yield self
+        finally:
+            self.armed = saved
+
+    # -- consumption --------------------------------------------------------
+    def next_fault(self, target, op):
+        """The fault (or None) scheduled for this target's next op.
+
+        Advances the target's operation counter (armed plans only) and
+        logs the fired fault.  At most one fault fires per operation;
+        when several specs match the same index, the first in schedule
+        order wins and the others are dropped for that index.
+        """
+        if not self.armed:
+            return None
+        key = (target, op)
+        index = self._counters.get(key, 0)
+        self._counters[key] = index + 1
+        for spec in self.specs:
+            if spec.op != op or not fnmatch.fnmatch(target, spec.target):
+                continue
+            if spec.index == index or (spec.permanent
+                                       and index >= spec.index):
+                self._injected.append(
+                    dict(spec.as_dict(), at=index, resolved_target=target))
+                return spec
+        return None
+
+    def rng(self):
+        """The plan's parameter RNG (for consumers needing randomness)."""
+        return self._rng
+
+    def wrap(self, device, target):
+        """Wrap ``device`` in a fault-injecting proxy aimed at ``target``."""
+        from repro.faults.device import FaultInjectingBlockDevice
+        return FaultInjectingBlockDevice(device, self, target)
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def injected(self):
+        """Fired faults, in order (list of dicts)."""
+        return list(self._injected)
+
+    def report(self):
+        """Summary of the run: schedule size, fired faults, by kind."""
+        by_kind = {}
+        for event in self._injected:
+            by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+        return {
+            "seed": self.seed,
+            "scheduled": len(self.specs),
+            "fired": len(self._injected),
+            "by_kind": by_kind,
+            "events": list(self._injected),
+        }
+
+    def __repr__(self):
+        return "FaultPlan(seed=%d, specs=%d, fired=%d)" % (
+            self.seed, len(self.specs), len(self._injected))
+
+
+# ----------------------------------------------------------------------
+# at-rest corruption helpers (what a bad disk or a crash leaves behind)
+# ----------------------------------------------------------------------
+
+def flip_bit(path, offset=None, bit=None, *, rng=None):
+    """Flip one bit of the file at ``path``; returns ``(offset, bit)``.
+
+    With ``offset``/``bit`` unspecified they are drawn from ``rng``
+    (which must then be given) -- pass a plan's :meth:`FaultPlan.rng`
+    for a seeded choice.  Raises ``ValueError`` on an empty file.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError("cannot flip a bit of empty file %s" % path)
+    if offset is None:
+        offset = rng.randrange(size)
+    if bit is None:
+        bit = rng.randrange(8) if rng is not None else 0
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ (1 << bit)]))
+    return offset, bit
+
+
+def tear_file(path, keep=None, *, rng=None):
+    """Truncate ``path`` to a strict prefix; returns the new size.
+
+    Simulates a torn write / crash mid-append: ``keep`` bytes survive
+    (drawn from ``rng`` over ``[0, size)`` when unspecified).
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError("cannot tear empty file %s" % path)
+    if keep is None:
+        keep = rng.randrange(size)
+    if not 0 <= keep < size:
+        raise ValueError("keep=%d out of range for %d-byte %s"
+                         % (keep, size, path))
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep

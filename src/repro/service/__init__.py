@@ -14,6 +14,8 @@ Everything needed to *keep* a decomposition rather than just compute it:
 * :class:`~repro.service.journal.EventJournal` -- the segmented
   write-ahead journal restarts replay from (checkpoint-anchored
   rotation + compaction keep its replay prefix bounded);
+* :func:`~repro.service.scrub.scrub_directory` -- offline verification
+  and repair of a data directory (``repro scrub``);
 * :mod:`~repro.service.workload` -- deterministic zipfian workloads for
   benchmarks and examples.
 """
@@ -24,6 +26,7 @@ from repro.service.journal import (
     DEFAULT_SEGMENT_EVENTS,
     EventJournal,
 )
+from repro.service.scrub import scrub_directory
 from repro.service.snapshot import EpochSnapshot, SnapshotView
 from repro.service.workload import (
     ZipfianSampler,
@@ -45,6 +48,7 @@ __all__ = [
     "CacheStats",
     "EventJournal",
     "DEFAULT_SEGMENT_EVENTS",
+    "scrub_directory",
     "ZipfianSampler",
     "generate_queries",
     "generate_updates",

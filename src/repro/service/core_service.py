@@ -45,8 +45,10 @@ from __future__ import annotations
 import heapq
 import json
 import os
+import re
 import struct
 import threading
+import time
 import zlib
 from array import array
 
@@ -55,11 +57,14 @@ from repro.core.kcore import core_histogram, k_core_nodes
 from repro.core.maintenance.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.maintenance.maintainer import CoreMaintainer
 from repro.errors import (
+    BatchQuarantinedError,
     CorruptStorageError,
     EdgeExistsError,
     EdgeNotFoundError,
     GraphError,
     ReproError,
+    ServiceDegradedError,
+    StorageError,
 )
 from repro.service.cache import DEFAULT_CAPACITY, ServiceCache
 from repro.service.journal import (
@@ -79,6 +84,15 @@ MANIFEST_VERSION = 2
 
 #: Batches applied between automatic checkpoints (None disables them).
 DEFAULT_CHECKPOINT_INTERVAL = 16
+
+#: Attempts per batch (1 + retries) before it is quarantined, and the
+#: base of the exponential backoff slept between attempts.
+DEFAULT_APPLY_RETRIES = 2
+DEFAULT_RETRY_BACKOFF = 0.01
+
+#: Epoch-stamped duplicates of the manifest pointer, written next to it
+#: so ``repro scrub`` can restore a damaged ``manifest.json``.
+_MANIFEST_COPY_RE = re.compile(r"^manifest\.(\d+)\.json$")
 
 #: Net edge-delta file: magic, version, pair count; then one
 #: ``(kind, u, v)`` record per edge differing from the seed tables,
@@ -102,6 +116,57 @@ def _delta_file(epoch):
     return "graph.%d.delta" % epoch
 
 
+def _manifest_copy_file(epoch):
+    """Name of the manifest duplicate stamped with ``epoch``."""
+    return "manifest.%d.json" % epoch
+
+
+def _manifest_body(manifest):
+    """Canonical serialization the manifest checksum covers.
+
+    The ``crc32`` field itself is excluded, so the checksum is additive:
+    manifests written before it existed verify as unprotected, and the
+    bytes on disk are exactly ``body`` plus the field.
+    """
+    data = {key: value for key, value in manifest.items()
+            if key != "crc32"}
+    return json.dumps(data, indent=2, sort_keys=True)
+
+
+def _load_manifest(path):
+    """Read and checksum-verify a service manifest.
+
+    Shared between :meth:`CoreService.open` and ``repro scrub``.
+    Propagates :class:`FileNotFoundError`; anything unparsable or
+    failing its ``crc32`` (when present) raises
+    :class:`~repro.errors.CorruptStorageError` carrying ``path``.
+    """
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            text = handle.read()
+        manifest = json.loads(text)
+    except FileNotFoundError:
+        raise
+    # UnicodeDecodeError (a bit flipped into the high half) is a
+    # ValueError too; both mean the same thing here: damaged manifest.
+    except ValueError as exc:
+        raise CorruptStorageError(
+            "service manifest %s is unreadable: %s" % (path, exc),
+            path=path) from None
+    if not isinstance(manifest, dict):
+        raise CorruptStorageError(
+            "service manifest %s is not a JSON object" % path,
+            path=path)
+    crc = manifest.get("crc32")
+    if crc is not None:
+        body = _manifest_body(manifest).encode("ascii")
+        if crc != zlib.crc32(body) & 0xFFFFFFFF:
+            raise CorruptStorageError(
+                "service manifest %s fails its checksum" % path,
+                path=path)
+    return manifest
+
+
 class CoreService:
     """Serve core-index queries over a dynamic graph.
 
@@ -115,7 +180,9 @@ class CoreService:
                  journal=None, data_dir=None,
                  checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
                  insert_algorithm="star", epoch=0, events_applied=0,
-                 graph_path=None, seed_algorithm=None, edge_delta=None):
+                 graph_path=None, seed_algorithm=None, edge_delta=None,
+                 apply_retries=DEFAULT_APPLY_RETRIES,
+                 retry_backoff=DEFAULT_RETRY_BACKOFF):
         self._maintainer = maintainer
         self._cache = ServiceCache(cache_capacity)
         self._journal = journal
@@ -129,6 +196,23 @@ class CoreService:
         self._seed_algorithm = seed_algorithm
         self._last_checkpoint_epoch = epoch
         self._queries_served = 0
+        if apply_retries < 0:
+            raise ReproError(
+                "apply_retries must be >= 0, got %d" % apply_retries)
+        self._apply_retries = apply_retries
+        self._retry_backoff = retry_backoff
+        #: Why the last write attempt failed (None while healthy); set
+        #: by a quarantine or a failed rollback, cleared by the next
+        #: successful batch.  Surfaced via :meth:`stats` and the CLI.
+        self._degraded = None
+        #: A rollback failure leaves live state unknown: the write
+        #: plane refuses everything until the directory is scrubbed
+        #: and reopened.  Reads keep serving the published snapshot.
+        self._poisoned = False
+        #: Batch ids quarantined in this run or recorded by the
+        #: manifest / journal markers, and the event count they cover.
+        self._quarantined = set()
+        self._events_quarantined = 0
         #: Net difference of the graph's edge set against its *seed*
         #: tables: ``(u, v) -> "+"/"-"`` with ``u < v``.  Checkpointed
         #: next to ``core``/``cnt`` so restarts rebuild the graph
@@ -174,7 +258,9 @@ class CoreService:
                      path_factory=None,
                      checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
                      insert_algorithm="star",
-                     segment_events=DEFAULT_SEGMENT_EVENTS):
+                     segment_events=DEFAULT_SEGMENT_EVENTS,
+                     apply_retries=DEFAULT_APPLY_RETRIES,
+                     retry_backoff=DEFAULT_RETRY_BACKOFF):
         """Seed a service over on-disk (or in-memory) graph tables.
 
         ``algorithm`` picks any decomposition algorithm for the seeding
@@ -192,6 +278,7 @@ class CoreService:
             insert_algorithm=insert_algorithm,
             segment_events=segment_events,
             graph_path=getattr(storage, "path", None),
+            apply_retries=apply_retries, retry_backoff=retry_backoff,
         )
 
     @classmethod
@@ -199,7 +286,9 @@ class CoreService:
                    cache_capacity=DEFAULT_CAPACITY, data_dir=None,
                    checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
                    insert_algorithm="star", graph_path=None,
-                   segment_events=DEFAULT_SEGMENT_EVENTS):
+                   segment_events=DEFAULT_SEGMENT_EVENTS,
+                   apply_retries=DEFAULT_APPLY_RETRIES,
+                   retry_backoff=DEFAULT_RETRY_BACKOFF):
         """Seed a service over any mutable graph with the read protocol."""
         result = run_decomposition(algorithm, graph, engine=engine)
         cores = array("i", result.cores)
@@ -221,7 +310,9 @@ class CoreService:
                       journal=journal, data_dir=data_dir,
                       checkpoint_interval=checkpoint_interval,
                       insert_algorithm=insert_algorithm,
-                      graph_path=graph_path, seed_algorithm=algorithm)
+                      graph_path=graph_path, seed_algorithm=algorithm,
+                      apply_retries=apply_retries,
+                      retry_backoff=retry_backoff)
         service.seed_result = result
         if data_dir is not None:
             service.checkpoint()
@@ -233,7 +324,9 @@ class CoreService:
              buffer_capacity=DEFAULT_BUFFER_CAPACITY, path_factory=None,
              checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL,
              insert_algorithm="star",
-             segment_events=DEFAULT_SEGMENT_EVENTS):
+             segment_events=DEFAULT_SEGMENT_EVENTS,
+             apply_retries=DEFAULT_APPLY_RETRIES,
+             retry_backoff=DEFAULT_RETRY_BACKOFF):
         """Resume a service from its checkpointed data directory.
 
         ``storage`` must be the *seed* graph tables the service was
@@ -255,21 +348,17 @@ class CoreService:
         data_dir = os.fspath(data_dir)
         manifest_path = os.path.join(data_dir, MANIFEST_NAME)
         try:
-            with open(manifest_path, "r", encoding="ascii") as handle:
-                manifest = json.load(handle)
+            manifest = _load_manifest(manifest_path)
         except FileNotFoundError:
             raise ReproError(
                 "no service manifest under %s (seed one with "
                 "CoreService.from_storage(data_dir=...))" % data_dir
             ) from None
-        except ValueError as exc:
-            raise CorruptStorageError(
-                "service manifest %s is unreadable: %s"
-                % (manifest_path, exc)) from None
         version = manifest.get("version")
         if version not in (1, MANIFEST_VERSION):
             raise CorruptStorageError(
-                "unsupported service manifest version %r" % (version,))
+                "unsupported service manifest version %r" % (version,),
+                path=manifest_path)
         graph_path = manifest.get("graph_path")
         owned_storage = None
         if storage is None:
@@ -286,7 +375,8 @@ class CoreService:
             if applied > journal.num_events:
                 raise CorruptStorageError(
                     "journal holds %d events but the checkpoint covers %d"
-                    % (journal.num_events, applied))
+                    % (journal.num_events, applied),
+                    path=data_dir)
             graph = DynamicGraph(storage, buffer_capacity=buffer_capacity,
                                  path_factory=path_factory)
             edge_delta = {}
@@ -309,7 +399,8 @@ class CoreService:
                         "journal was compacted past the checkpoint: "
                         "first retained event is %d but the checkpoint "
                         "covers only %d"
-                        % (journal.first_retained_event, applied))
+                        % (journal.first_retained_event, applied),
+                        path=data_dir)
                 edge_delta = _read_delta_file(
                     os.path.join(data_dir, manifest["delta"]))
                 # The delta is the *net* difference at the watermark;
@@ -332,12 +423,22 @@ class CoreService:
                           epoch=int(manifest["epoch"]),
                           events_applied=applied, graph_path=graph_path,
                           seed_algorithm=manifest.get("seed_algorithm"),
-                          edge_delta=edge_delta)
+                          edge_delta=edge_delta,
+                          apply_retries=apply_retries,
+                          retry_backoff=retry_backoff)
+            service._quarantined.update(
+                manifest.get("quarantined_batches") or ())
             # Stream the journal tail through the full maintenance
             # path, preserving the original batch boundaries (= epoch
-            # sequence).  Only segments past the watermark are read.
-            for batch, ops in journal.iter_batches(applied):
-                service._apply_ops(ops, batch=batch)
+            # sequence).  Only segments past the watermark are read; a
+            # quarantined batch's events are skipped but still consume
+            # their epoch, exactly as in the original run.
+            for batch, ops, quarantined in journal.iter_batches(
+                    applied, include_quarantined=True):
+                if quarantined:
+                    service._skip_quarantined(batch, ops)
+                else:
+                    service._apply_ops(ops, batch=batch)
         except BaseException:
             if journal is not None:
                 journal.close()
@@ -422,6 +523,16 @@ class CoreService:
         return self._queries_served
 
     @property
+    def degraded(self):
+        """Why the last write attempt failed; None while healthy."""
+        return self._degraded
+
+    @property
+    def quarantined_batches(self):
+        """Sorted ids of quarantined batches (journaled, never applied)."""
+        return sorted(self._quarantined)
+
+    @property
     def num_nodes(self):
         """Number of nodes of the served graph."""
         return self.graph.num_nodes
@@ -454,6 +565,9 @@ class CoreService:
             }
         finally:
             snap.release()
+        stats["degraded"] = self._degraded
+        stats["quarantined"] = sorted(self._quarantined)
+        stats["events_quarantined"] = self._events_quarantined
         if self._journal is not None:
             stats["journal"] = self._journal.stats()
         return stats
@@ -634,7 +748,20 @@ class CoreService:
         ``CoreMaintainer.apply_batch`` summary extended with ``epoch``
         and ``max_core_touched``.  An empty batch is a no-op and does
         not bump the epoch.
+
+        The batch is transactional under storage failure: any
+        ``OSError`` / :class:`~repro.errors.StorageError` rolls the
+        live plane back to the pre-batch state and the whole batch is
+        retried with exponential backoff; after every retry fails it is
+        quarantined (marked in the journal, epoch consumed, reads keep
+        serving) and :class:`~repro.errors.BatchQuarantinedError`
+        raised.  See :meth:`_apply_with_recovery`.
         """
+        if self._poisoned:
+            raise ServiceDegradedError(
+                "service is degraded (%s); reads keep serving but "
+                "writes are refused until the data directory is "
+                "scrubbed and reopened" % self._degraded)
         ops = [self._normalize_event(event) for event in events]
         if not ops:
             # The no-op summary comes from the same maintainer call the
@@ -643,13 +770,26 @@ class CoreService:
             return self._finish_summary(self._maintainer.apply_batch([]),
                                         touched=0)
         self._check_algorithm(algorithm)
-        self._validate_ops(ops)
+        # Validation reads the graph, so it can hit the same flaky
+        # device as maintenance.  It mutates nothing, so a plain
+        # bounded retry suffices -- no rollback, and a persistent
+        # failure rejects the batch before anything is journaled.
+        for attempt in range(self._apply_retries + 1):
+            if attempt:
+                time.sleep(self._retry_backoff * (2 ** (attempt - 1)))
+            try:
+                self._validate_ops(ops)
+                break
+            except (OSError, StorageError):
+                if attempt == self._apply_retries:
+                    raise
         batch = self._epoch + 1
         if self._journal is not None:
             self._journal.append(ops, batch)
         if self._crash_after_journal is not None:
             self._crash_after_journal()
-        summary = self._apply_ops(ops, batch=batch, algorithm=algorithm)
+        summary = self._apply_with_recovery(ops, batch=batch,
+                                            algorithm=algorithm)
         if (self._data_dir is not None
                 and self._checkpoint_interval is not None
                 and self._epoch - self._last_checkpoint_epoch
@@ -687,6 +827,10 @@ class CoreService:
         if self._data_dir is None:
             raise ReproError("service has no data directory to "
                              "checkpoint into")
+        if self._poisoned:
+            raise ServiceDegradedError(
+                "service is degraded (%s); refusing to checkpoint "
+                "unknown live state" % self._degraded)
         if self._journal is not None:
             self._journal.rotate()
             if self._crash_after_rotate is not None:
@@ -712,20 +856,33 @@ class CoreService:
             "graph_path": self._graph_path,
             "seed_algorithm": self._seed_algorithm,
             "num_nodes": self.graph.num_nodes,
+            "quarantined_batches": sorted(self._quarantined),
         }
+        manifest["crc32"] = zlib.crc32(
+            _manifest_body(manifest).encode("ascii")) & 0xFFFFFFFF
+        blob = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
         manifest_path = os.path.join(self._data_dir, MANIFEST_NAME)
         with open(manifest_path + ".tmp", "w", encoding="ascii") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+            handle.write(blob)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(manifest_path + ".tmp", manifest_path)
+        # Epoch-stamped duplicate of the pointer: ``repro scrub``
+        # restores a damaged ``manifest.json`` from the newest intact
+        # copy whose artifacts still verify.
+        copy_name = _manifest_copy_file(self._epoch)
+        copy_path = os.path.join(self._data_dir, copy_name)
+        with open(copy_path + ".tmp", "w", encoding="ascii") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(copy_path + ".tmp", copy_path)
         _fsync_path(self._data_dir)
         if self._crash_before_compact is not None:
             self._crash_before_compact()
         if self._journal is not None:
             self._journal.compact(self._events_applied)
-        self._retire_stale_files(state_name, delta_name)
+        self._retire_stale_files(state_name, delta_name, copy_name)
         self._last_checkpoint_epoch = self._epoch
 
     def _journal_manifest(self):
@@ -746,20 +903,22 @@ class CoreService:
             "segments": segments,
         }
 
-    def _retire_stale_files(self, state_name, delta_name):
+    def _retire_stale_files(self, state_name, delta_name, copy_name):
         """Unlink checkpoint/delta files the manifest no longer names.
 
-        Also collects a migrated v1 ``state.ckpt`` and any ``.tmp``
-        strays a crashed checkpoint left behind (the journal's own
-        temp files are the journal's to clean).
+        Also collects a migrated v1 ``state.ckpt``, superseded manifest
+        duplicates, and any ``.tmp`` strays a crashed checkpoint left
+        behind (the journal's own temp files are the journal's to
+        clean).
         """
         removed = False
         for name in os.listdir(self._data_dir):
-            if name in (state_name, delta_name):
+            if name in (state_name, delta_name, copy_name):
                 continue
             stale = (
                 (name.startswith("state.") and name.endswith(".ckpt"))
                 or (name.startswith("graph.") and name.endswith(".delta"))
+                or _MANIFEST_COPY_RE.match(name) is not None
                 or (name.endswith(".tmp")
                     and not name.startswith("journal."))
             )
@@ -845,8 +1004,6 @@ class CoreService:
             touched = max(touched, min(cores[u], cores[v]))
         for v in summary["changed_nodes"]:
             touched = max(touched, pre[v], cores[v])
-        for op, u, v in ops:
-            _toggle_delta(self._edge_delta, op, u, v)
         endpoints = set()
         for _, u, v in ops:
             endpoints.add(u)
@@ -855,10 +1012,150 @@ class CoreService:
             self.graph, cores, epoch=batch,
             events_applied=self._events_applied + len(ops),
             touched=endpoints)
+        # Only once every fallible step (maintenance, snapshot reads)
+        # is behind us does the in-memory delta move: a failed attempt
+        # never needs to untoggle it.
+        for op, u, v in ops:
+            _toggle_delta(self._edge_delta, op, u, v)
         if self._crash_before_publish is not None:
             self._crash_before_publish()
         self._publish(snapshot, summary["changed_nodes"], touched)
         return self._finish_summary(summary, touched)
+
+    def _apply_with_recovery(self, ops, *, batch, algorithm=None):
+        """Run a journaled batch with rollback, retry and quarantine.
+
+        Storage failures (``OSError`` / :class:`StorageError`) roll the
+        live plane back to the pre-batch state and the whole batch is
+        retried with exponential backoff (``retry_backoff *
+        2**attempt``); logic errors propagate untouched, exactly as
+        before.  After ``apply_retries`` retries the batch is
+        quarantined via :meth:`_quarantine`.  If even the rollback
+        cannot complete, the write plane is *poisoned*: further writes
+        raise :class:`ServiceDegradedError` while reads keep serving
+        the still-consistent published snapshot.
+        """
+        pre_cores = array("i", self._maintainer.cores)
+        pre_cnt = array("i", self._maintainer.cnt)
+        pre_history = len(self._maintainer.history)
+        error = None
+        for attempt in range(self._apply_retries + 1):
+            if attempt:
+                time.sleep(self._retry_backoff * (2 ** (attempt - 1)))
+            try:
+                summary = self._apply_ops(ops, batch=batch,
+                                          algorithm=algorithm)
+            except (OSError, StorageError) as exc:
+                error = exc
+                try:
+                    self._rollback(ops, pre_cores, pre_cnt, pre_history)
+                except (OSError, StorageError) as failure:
+                    self._poisoned = True
+                    self._degraded = ("rollback of batch %d failed: %s"
+                                      % (batch, failure))
+                    raise ServiceDegradedError(
+                        "batch %d failed (%s) and its rollback failed "
+                        "too (%s); write plane disabled, reads keep "
+                        "serving the pre-batch epoch"
+                        % (batch, exc, failure)) from exc
+            else:
+                self._degraded = None
+                return summary
+        self._quarantine(ops, batch, error)
+
+    def _rollback(self, ops, pre_cores, pre_cnt, pre_history):
+        """Restore the pre-batch live plane after a failed attempt.
+
+        Idempotent, and retried internally with the same backoff
+        because the repair's reads can hit the same faulty device that
+        failed the batch.  Raises the last error when every attempt
+        fails.
+        """
+        error = None
+        for attempt in range(self._apply_retries + 1):
+            if attempt:
+                time.sleep(self._retry_backoff * (2 ** (attempt - 1)))
+            try:
+                self._restore_pre_batch(ops, pre_cores, pre_cnt,
+                                        pre_history)
+                return
+            except (OSError, StorageError) as exc:
+                error = exc
+        raise error
+
+    def _restore_pre_batch(self, ops, pre_cores, pre_cnt, pre_history):
+        """One rollback attempt: arrays in place, graph by repair.
+
+        Graph membership is recovered from the batch itself: validation
+        proved each edge key's *first* event matched the pre-batch
+        graph, so a first ``"+"`` means the edge was absent and a first
+        ``"-"`` that it was present.  Nothing else can have moved --
+        ``apply`` is serialized and the maintenance kernels only touch
+        the batch's edges.
+        """
+        maintainer = self._maintainer
+        maintainer.cores[:] = pre_cores
+        maintainer.cnt[:] = pre_cnt
+        del maintainer.history[pre_history:]
+        graph = self.graph
+        first = {}
+        for op, u, v in ops:
+            key = (u, v) if u < v else (v, u)
+            first.setdefault(key, op)
+        for (u, v), op in first.items():
+            present_before = op == "-"
+            if graph.has_edge(u, v) == present_before:
+                continue
+            if present_before:
+                graph.insert_edge(u, v, validate=False)
+            else:
+                graph.delete_edge(u, v, validate=False)
+
+    def _quarantine(self, ops, batch, error):
+        """Mark ``batch`` permanently failed and consume its epoch.
+
+        The journal keeps the batch's events plus a kind-3 marker
+        (restart replay skips them); the live plane publishes a no-op
+        snapshot (``touched=()`` -- built without any device read) so
+        the epoch sequence stays dense and the watermark arithmetic
+        unchanged.  A failure to persist the marker is tolerated: the
+        batch is then *retried* at the next open instead of skipped,
+        which can only improve on quarantine.  Raises
+        :class:`BatchQuarantinedError`.
+        """
+        if self._journal is not None:
+            try:
+                self._journal.append_quarantine(batch)
+            except (OSError, StorageError):
+                pass
+        snapshot = self._snapshot.advance(
+            self.graph, self._maintainer.cores, epoch=batch,
+            events_applied=self._events_applied + len(ops), touched=())
+        self._publish(snapshot, [], 0)
+        self._quarantined.add(batch)
+        self._events_quarantined += len(ops)
+        self._degraded = ("batch %d quarantined after %d failed "
+                          "attempts: %s"
+                          % (batch, self._apply_retries + 1, error))
+        raise BatchQuarantinedError(
+            "batch %d failed %d attempts and was quarantined (%s); "
+            "reads keep serving the pre-batch state"
+            % (batch, self._apply_retries + 1, error),
+            batch=batch) from error
+
+    def _skip_quarantined(self, batch, ops):
+        """Replay-side twin of :meth:`_quarantine`.
+
+        Consumes the epoch of an already-marked batch during restart
+        replay without applying its events, keeping the resumed epoch
+        sequence identical to the original run's.
+        """
+        snapshot = self._snapshot.advance(
+            self.graph, self._maintainer.cores, epoch=batch,
+            events_applied=self._events_applied + len(ops), touched=())
+        self._publish(snapshot, [], 0)
+        self._quarantined.add(batch)
+        self._events_quarantined += len(ops)
 
     def _publish(self, snapshot, changed_nodes, touched):
         """Atomically swap the read plane to ``snapshot``.

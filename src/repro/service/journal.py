@@ -118,6 +118,10 @@ _KIND_TO_OP = {0: "+", 1: "-"}
 _OP_TO_KIND = {"+": 0, "-": 1}
 #: Kind byte of the per-batch header record (u = event count, v unused).
 _KIND_BATCH = 2
+#: Kind byte of a standalone quarantine marker: the named batch failed
+#: maintenance after every retry and replay must skip its events (while
+#: still accounting for them -- the batch consumed an epoch).
+_KIND_QUARANTINE = 3
 
 
 def segment_name(seq):
@@ -180,6 +184,7 @@ class EventJournal:
         self._retention = deque(maxlen=max(0, retention_events))
         self._closed = False
         self._handle = None
+        self._quarantined = set()
         self._segments = self._discover()
         if not self._segments:
             self._segments = [self._create_segment(1, 0)]
@@ -192,7 +197,8 @@ class EventJournal:
                 if segment is not self._segments[-1]:
                     raise CorruptStorageError(
                         "journal segment %s: sealed segment is empty"
-                        % segment.path)
+                        % segment.path,
+                        path=segment.path, segment=segment.seq)
                 segment.base_events = (previous.end_events
                                        if previous is not None else 0)
             self._scan_segment(segment)
@@ -210,7 +216,8 @@ class EventJournal:
         """
         if self._closed:
             raise CorruptStorageError(
-                "journal under %s is closed" % self.directory)
+                "journal under %s is closed" % self.directory,
+                path=self.directory)
         events = list(events)
         if not events:
             return
@@ -229,6 +236,37 @@ class EventJournal:
                 and active.num_events >= self.segment_events):
             self.rotate()
 
+    def append_quarantine(self, batch):
+        """Durably mark ``batch`` as quarantined.
+
+        Writes one standalone marker record (kind 3, no event body):
+        the batch's event records stay journaled for forensics, but
+        replay skips them while still counting them toward the epoch
+        sequence.  The marker carries no events, so it never moves the
+        event offsets and may legitimately land in a later segment than
+        the batch it names (appends can rotate in between).
+        """
+        if self._closed:
+            raise CorruptStorageError(
+                "journal under %s is closed" % self.directory,
+                path=self.directory)
+        active = self._active
+        blob = _pack_record(_KIND_QUARANTINE, 0, 0, batch)
+        self._handle.seek(active.append_pos)
+        self._handle.write(blob)
+        self._handle.truncate()
+        self._sync(self._handle)
+        active.append_pos += len(blob)
+        self._quarantined.add(batch)
+
+    def quarantined_batches(self):
+        """Sorted ids of batches marked quarantined (scan + this run)."""
+        return sorted(self._quarantined)
+
+    def is_quarantined(self, batch):
+        """Whether ``batch`` carries a quarantine marker."""
+        return batch in self._quarantined
+
     def rotate(self):
         """Seal the active segment by opening the next one.
 
@@ -240,7 +278,8 @@ class EventJournal:
         """
         if self._closed:
             raise CorruptStorageError(
-                "journal under %s is closed" % self.directory)
+                "journal under %s is closed" % self.directory,
+                path=self.directory)
         active = self._active
         if active.num_events == 0:
             return False
@@ -317,6 +356,7 @@ class EventJournal:
             "total_events": self.num_events,
             "retained_events": self.num_events - self.first_retained_event,
             "first_retained_event": self.first_retained_event,
+            "quarantined_batches": len(self._quarantined),
             "disk_bytes": disk_bytes,
         }
 
@@ -339,7 +379,8 @@ class EventJournal:
             raise CorruptStorageError(
                 "journal under %s: events before %d were compacted away "
                 "(requested %d)"
-                % (self.directory, self.first_retained_event, start))
+                % (self.directory, self.first_retained_event, start),
+                path=self.directory)
         for segment in self._segments:
             if segment.end_events <= start:
                 continue
@@ -348,7 +389,7 @@ class EventJournal:
             for event in self._iter_segment(segment, start, stop):
                 yield event
 
-    def iter_batches(self, start=0):
+    def iter_batches(self, start=0, *, include_quarantined=False):
         """Group :meth:`iter_events` into ``(batch, events)`` runs.
 
         Events of one batch are contiguous and within one segment by
@@ -356,17 +397,31 @@ class EventJournal:
         stored batch id so a replay reproduces exactly the batch
         boundaries -- and therefore the epoch sequence -- of the
         original run.
+
+        Quarantined batches are omitted by default.  With
+        ``include_quarantined=True`` every batch is yielded as a
+        3-tuple ``(batch, events, quarantined)`` so a replay can skip a
+        quarantined batch's events while still advancing its epoch and
+        event accounting.
         """
         current = None
         ops = []
         for batch, op, u, v in self.iter_events(start):
             if current is not None and batch != current:
-                yield current, ops
+                yield from self._emit_batch(current, ops,
+                                            include_quarantined)
                 ops = []
             current = batch
             ops.append((op, u, v))
         if current is not None:
-            yield current, ops
+            yield from self._emit_batch(current, ops, include_quarantined)
+
+    def _emit_batch(self, batch, ops, include_quarantined):
+        quarantined = batch in self._quarantined
+        if include_quarantined:
+            yield batch, ops, quarantined
+        elif not quarantined:
+            yield batch, ops
 
     def events(self, start=0):
         """The ``(batch, op, u, v)`` tuples from global index ``start``.
@@ -414,7 +469,8 @@ class EventJournal:
             raise CorruptStorageError(
                 "EventJournal takes the journal *directory*, but %s is "
                 "a file (the v1 API took the journal.log path)"
-                % self.directory)
+                % self.directory,
+                path=self.directory)
         os.makedirs(self.directory, exist_ok=True)
         segments = []
         for name in os.listdir(self.directory):
@@ -451,19 +507,23 @@ class EventJournal:
             return None
         if len(header) != _SEGMENT_HEADER.size:
             raise CorruptStorageError(
-                "journal segment %s: header truncated" % path)
+                "journal segment %s: header truncated" % path,
+                path=path, segment=seq, offset=0)
         magic, version, file_seq, base = _SEGMENT_HEADER.unpack(header)
         if magic != _SEGMENT_MAGIC:
             raise CorruptStorageError(
-                "journal segment %s: bad magic %r" % (path, magic))
+                "journal segment %s: bad magic %r" % (path, magic),
+                path=path, segment=seq, offset=0)
         if version != _SEGMENT_VERSION:
             raise CorruptStorageError(
                 "journal segment %s: unsupported version %d"
-                % (path, version))
+                % (path, version),
+                path=path, segment=seq, offset=0)
         if file_seq != seq:
             raise CorruptStorageError(
                 "journal segment %s: header claims sequence %d"
-                % (path, file_seq))
+                % (path, file_seq),
+                path=path, segment=seq, offset=0)
         return base
 
     def _create_segment(self, seq, base_events):
@@ -498,23 +558,27 @@ class EventJournal:
                 if not is_active:
                     raise CorruptStorageError(
                         "journal segment %s: sealed segment is empty"
-                        % segment.path)
+                        % segment.path,
+                        path=segment.path, segment=segment.seq)
                 self._init_header(handle, segment)
                 return
             handle.seek(0)
             header = handle.read(segment.header_size)
             if len(header) != segment.header_size:
                 raise CorruptStorageError(
-                    "journal %s: header truncated" % segment.path)
+                    "journal %s: header truncated" % segment.path,
+                    path=segment.path, segment=segment.seq, offset=0)
             if segment.legacy:
                 magic, version = _LEGACY_HEADER.unpack(header)
                 if magic != _LEGACY_MAGIC:
                     raise CorruptStorageError(
-                        "journal %s: bad magic %r" % (segment.path, magic))
+                        "journal %s: bad magic %r" % (segment.path, magic),
+                        path=segment.path, segment=segment.seq, offset=0)
                 if version != _LEGACY_VERSION:
                     raise CorruptStorageError(
                         "journal %s: unsupported version %d"
-                        % (segment.path, version))
+                        % (segment.path, version),
+                        path=segment.path, segment=segment.seq, offset=0)
             position = segment.header_size
             read = 0
             events = 0
@@ -524,10 +588,19 @@ class EventJournal:
                     break
                 read += 1
                 kind, count, _, batch = head
+                if kind == _KIND_QUARANTINE:
+                    # Standalone marker: no event body, no offset moved.
+                    self._quarantined.add(batch)
+                    position += RECORD_SIZE
+                    continue
                 if kind != _KIND_BATCH:
                     raise CorruptStorageError(
-                        "journal %s: record %d is not a batch header "
-                        "(kind %d)" % (segment.path, read - 1, kind))
+                        "journal %s: record %d at byte offset %d is not "
+                        "a batch header (kind %d)"
+                        % (segment.path, read - 1,
+                           self._record_offset(segment, read - 1), kind),
+                        path=segment.path, segment=segment.seq,
+                        offset=self._record_offset(segment, read - 1))
                 complete = True
                 batch_events = []
                 for _ in range(count):
@@ -540,8 +613,13 @@ class EventJournal:
                     if event_kind not in _KIND_TO_OP or \
                             event_batch != batch:
                         raise CorruptStorageError(
-                            "journal %s: record %d does not belong to "
-                            "batch %d" % (segment.path, read - 1, batch))
+                            "journal %s: record %d at byte offset %d "
+                            "does not belong to batch %d"
+                            % (segment.path, read - 1,
+                               self._record_offset(segment, read - 1),
+                               batch),
+                            path=segment.path, segment=segment.seq,
+                            offset=self._record_offset(segment, read - 1))
                     batch_events.append(
                         (batch, _KIND_TO_OP[event_kind], u, v))
                 if not complete:
@@ -555,8 +633,10 @@ class EventJournal:
             if handle.seek(0, os.SEEK_END) != position:
                 if not is_active:
                     raise CorruptStorageError(
-                        "journal %s: sealed segment has a torn tail"
-                        % segment.path)
+                        "journal %s: sealed segment has a torn tail at "
+                        "byte offset %d" % (segment.path, position),
+                        path=segment.path, segment=segment.seq,
+                        offset=position)
                 handle.seek(position)
                 handle.truncate()
                 self._sync(handle)
@@ -571,7 +651,8 @@ class EventJournal:
             raise CorruptStorageError(
                 "journal %s: segment ends at event %d but %s starts "
                 "at %d" % (segment.path, segment.end_events,
-                           successor.name, successor.base_events))
+                           successor.name, successor.base_events),
+                path=segment.path, segment=segment.seq)
 
     def _successor_of(self, segment):
         index = self._segments.index(segment)
@@ -592,6 +673,11 @@ class EventJournal:
         segment.num_events = 0
         segment.append_pos = segment.header_size
 
+    @staticmethod
+    def _record_offset(segment, index):
+        """Byte offset of record ``index`` (records are fixed-size)."""
+        return segment.header_size + RECORD_SIZE * index
+
     def _read_record(self, handle, segment, index):
         """Next record as ``(kind, u, v, batch)``; None at a torn tail."""
         record = handle.read(RECORD_SIZE)
@@ -600,8 +686,12 @@ class EventJournal:
         payload, crc = record[:_PAYLOAD.size], record[_PAYLOAD.size:]
         if _CRC.unpack(crc)[0] != zlib.crc32(payload) & 0xFFFFFFFF:
             raise CorruptStorageError(
-                "journal %s: record %d fails its checksum "
-                "(corrupted tail)" % (segment.path, index))
+                "journal %s: record %d at byte offset %d fails its "
+                "checksum (corrupted tail)"
+                % (segment.path, index,
+                   self._record_offset(segment, index)),
+                path=segment.path, segment=segment.seq,
+                offset=self._record_offset(segment, index))
         return _PAYLOAD.unpack(payload)
 
     def _iter_segment(self, segment, start, stop):
@@ -623,10 +713,16 @@ class EventJournal:
                     break
                 read += 1
                 kind, count, _, batch = head
+                if kind == _KIND_QUARANTINE:
+                    continue
                 if kind != _KIND_BATCH:
                     raise CorruptStorageError(
-                        "journal %s: record %d is not a batch header "
-                        "(kind %d)" % (segment.path, read - 1, kind))
+                        "journal %s: record %d at byte offset %d is not "
+                        "a batch header (kind %d)"
+                        % (segment.path, read - 1,
+                           self._record_offset(segment, read - 1), kind),
+                        path=segment.path, segment=segment.seq,
+                        offset=self._record_offset(segment, read - 1))
                 if offset + count <= start:
                     handle.seek(RECORD_SIZE * count, os.SEEK_CUR)
                     read += count
@@ -636,15 +732,24 @@ class EventJournal:
                     record = self._read_record(handle, segment, read)
                     if record is None:
                         raise CorruptStorageError(
-                            "journal %s: batch %d truncated mid-read"
-                            % (segment.path, batch))
+                            "journal %s: batch %d truncated mid-read at "
+                            "byte offset %d"
+                            % (segment.path, batch,
+                               self._record_offset(segment, read)),
+                            path=segment.path, segment=segment.seq,
+                            offset=self._record_offset(segment, read))
                     read += 1
                     event_kind, u, v, event_batch = record
                     if event_kind not in _KIND_TO_OP or \
                             event_batch != batch:
                         raise CorruptStorageError(
-                            "journal %s: record %d does not belong to "
-                            "batch %d" % (segment.path, read - 1, batch))
+                            "journal %s: record %d at byte offset %d "
+                            "does not belong to batch %d"
+                            % (segment.path, read - 1,
+                               self._record_offset(segment, read - 1),
+                               batch),
+                            path=segment.path, segment=segment.seq,
+                            offset=self._record_offset(segment, read - 1))
                     if start <= offset < stop:
                         yield event_batch, _KIND_TO_OP[event_kind], u, v
                     offset += 1

@@ -18,6 +18,10 @@ def pytest_configure(config):
         "markers",
         "concurrent: threaded reader/writer race tests (CI repeats "
         "them under `pytest -m concurrent` with varying seeds)")
+    config.addinivalue_line(
+        "markers",
+        "faults: fault-injection / chaos tests (CI repeats them under "
+        "`pytest -m faults` with varying REPRO_FAULT_SEED values)")
 
 
 def make_random_edges(rng, n, p):
