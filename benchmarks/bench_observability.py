@@ -1,0 +1,116 @@
+"""Observability overhead: tracing on vs off on the Fig. 3 workload.
+
+The telemetry plane promises to be effectively free: with tracing
+disabled a span is one module-global read, and with tracing enabled the
+cost is per *pass*, never per node.  This benchmark runs the Fig. 3
+convergence workload (SemiCore on the Twitter proxy) both ways,
+best-of-3 each, and asserts:
+
+* cores and I/O counters are bit-identical -- instrumentation observes,
+  never participates;
+* the traced run stays within the 5% overhead budget (plus a small
+  absolute slack that absorbs timer noise on sub-second runs);
+* the traced run actually recorded one span per pass and fed the
+  ``repro_span_seconds`` histogram.
+
+The measured seconds land in ``BENCH_RESULTS.json`` via the results
+sink, so `repro report --trend` tracks the overhead across PRs.
+"""
+
+import time
+
+from repro.core.semicore import semi_core
+from repro.obs import MetricsRegistry, disable_tracing, enable_tracing
+
+from benchmarks.conftest import load_bench_dataset, once
+
+#: Relative budget: traced <= untraced * this ...
+OVERHEAD_BUDGET = 1.05
+#: ... plus this many seconds of absolute slack for timer noise.
+ABS_SLACK_SECONDS = 0.05
+
+BEST_OF = 3
+
+
+def _measure(storage, runs):
+    """Best-of-``runs`` wall time of SemiCore plus the last outcome."""
+    best = float("inf")
+    cores = io = None
+    for _ in range(runs):
+        storage.drop_caches()
+        storage.io_stats.reset()
+        started = time.perf_counter()
+        result = semi_core(storage)
+        elapsed = time.perf_counter() - started
+        stats = storage.io_stats
+        cores = list(result.cores)
+        io = (stats.read_ios, stats.write_ios,
+              stats.bytes_read, stats.bytes_written)
+        best = min(best, elapsed)
+    return best, cores, io
+
+
+def test_tracing_overhead_within_budget(benchmark, results):
+    storage = load_bench_dataset("twitter")
+    outcome = {}
+
+    def run():
+        disable_tracing()  # belt and braces: a clean untraced baseline
+        outcome["t_off"], outcome["cores_off"], outcome["io_off"] = \
+            _measure(storage, BEST_OF)
+        registry = MetricsRegistry()
+        tracer = enable_tracing(registry=registry)
+        try:
+            outcome["t_on"], outcome["cores_on"], outcome["io_on"] = \
+                _measure(storage, BEST_OF)
+        finally:
+            disable_tracing()
+        outcome["tracer"] = tracer
+        outcome["registry"] = registry
+
+    once(benchmark, run)
+    t_off, t_on = outcome["t_off"], outcome["t_on"]
+    overhead_pct = 100.0 * (t_on - t_off) / t_off if t_off else 0.0
+    results.add(
+        "Observability overhead (Fig 3 workload)",
+        dataset="twitter",
+        algorithm="SemiCore",
+        mode="untraced",
+        seconds="%.3f" % t_off,
+        _seconds=t_off,
+        _read_ios=outcome["io_off"][0],
+        _write_ios=outcome["io_off"][1],
+    )
+    results.add(
+        "Observability overhead (Fig 3 workload)",
+        dataset="twitter",
+        algorithm="SemiCore",
+        mode="traced",
+        seconds="%.3f" % t_on,
+        overhead="%+.1f%%" % overhead_pct,
+        spans=outcome["tracer"].spans_recorded,
+        _seconds=t_on,
+        _read_ios=outcome["io_on"][0],
+        _write_ios=outcome["io_on"][1],
+        _overhead_pct=overhead_pct,
+        _spans=outcome["tracer"].spans_recorded,
+    )
+
+    # Bit-identical results: tracing observes, never participates.
+    assert outcome["cores_on"] == outcome["cores_off"]
+    assert outcome["io_on"] == outcome["io_off"]
+
+    # The traced run really traced: one span per pass, histogram fed.
+    tracer = outcome["tracer"]
+    assert tracer.spans_recorded > 0
+    passes = [r for r in tracer.records if r["name"] == "semicore.pass"]
+    assert passes
+    assert sum(r["read_ios"] for r in passes) > 0
+    family = outcome["registry"].get("repro_span_seconds")
+    assert family.labels(name="semicore.pass").count == len(passes)
+
+    # The overhead budget.
+    assert t_on <= t_off * OVERHEAD_BUDGET + ABS_SLACK_SECONDS, (
+        "tracing overhead %.1f%% exceeds the %.0f%% budget "
+        "(untraced %.3fs, traced %.3fs)"
+        % (overhead_pct, (OVERHEAD_BUDGET - 1) * 100, t_off, t_on))

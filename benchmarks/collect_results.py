@@ -25,18 +25,30 @@ uploads the file as a workflow artifact.
 The trajectory *merges into* its previous output rather than requiring
 every figure to be present: records collected from the per-figure files
 currently on disk supersede the previous ``BENCH_RESULTS.json`` records
-of the same figures wholesale, while figures with no file on disk carry
-over from the previous output.  A partial benchmark run (one figure,
-one bench module, an interrupted session) therefore refreshes what it
-ran and keeps the rest of the trajectory instead of emptying it.  Each
-record carries its own ``scale`` and the top-level ``scale`` becomes a
-sorted list when runs mixed scales.  Pass ``--no-merge`` (or
-``merge=False``) for a from-scratch artifact.
+of the same figure *and revision*, while everything else carries over.
+A partial benchmark run (one figure, one bench module, an interrupted
+session) therefore refreshes what it ran and keeps the rest of the
+trajectory instead of emptying it.  Each record carries its own
+``scale`` and the top-level ``scale`` becomes a sorted list when runs
+mixed scales.  Pass ``--no-merge`` (or ``merge=False``) for a
+from-scratch artifact.
+
+Every record is stamped with the repository revision that produced it
+(``rev``, the ``repro`` package version; override with ``--rev`` or
+``REPRO_BENCH_REV``).  Because each PR bumps the version, re-running
+the benchmarks replaces the *current* revision's rows while earlier
+revisions' rows survive -- the file accumulates a genuine multi-PR
+history that ``repro report --trend`` renders per benchmark.  At most
+``MAX_REVS_PER_FIGURE`` revisions are kept per figure (oldest dropped).
+Records written before the stamp existed have no ``rev`` and are
+superseded wholesale by any fresh run of their figure, as before.
 
 ``--require-new`` makes the exit status fail when the merged output
 gained no new rows over a baseline (``--previous``, default the output
 itself before rewriting) -- CI uses it so a bench job whose trajectory
-silently stayed empty fails instead of uploading a stale artifact.
+silently stayed empty fails instead of uploading a stale artifact.  It
+also prints which benchmarks (figures) contributed zero new rows, so a
+partially-stale run names its gaps.
 """
 
 from __future__ import annotations
@@ -53,17 +65,50 @@ SCHEMA_VERSION = 1
 #: Row keys copied verbatim into each record when present.
 LABEL_KEYS = ("dataset", "algorithm", "engine", "fraction", "mode")
 
+#: Revisions of history retained per figure in the merged trajectory.
+MAX_REVS_PER_FIGURE = 12
+
 DEFAULT_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 DEFAULT_OUTPUT = os.path.join(DEFAULT_RESULTS_DIR, "BENCH_RESULTS.json")
 
 
-def _record_from_row(figure, scale, row):
+def bench_rev():
+    """The revision stamp for freshly collected records.
+
+    ``REPRO_BENCH_REV`` wins (CI can pin a commit hash), then the
+    installed ``repro`` version; ``"0"`` when neither resolves.
+    """
+    rev = os.environ.get("REPRO_BENCH_REV")
+    if rev:
+        return rev
+    try:
+        from repro._version import __version__
+    except ImportError:
+        return "0"
+    return __version__
+
+
+def _rev_key(rev):
+    """Sort key ordering revisions oldest-first.
+
+    Dotted numeric versions order numerically; anything else (commit
+    hashes, missing stamps) sorts before them, i.e. as oldest.
+    """
+    parts = str(rev or "").split(".")
+    if parts and all(part.isdigit() for part in parts):
+        return (1, tuple(int(part) for part in parts))
+    return (0, (str(rev or ""),))
+
+
+def _record_from_row(figure, scale, row, rev=None):
     """One standardized record, or None for rows without raw metrics."""
     metrics = {key[1:]: value for key, value in row.items()
                if key.startswith("_")}
     if not metrics:
         return None
     record = {"figure": figure, "scale": scale}
+    if rev is not None:
+        record["rev"] = rev
     for key in LABEL_KEYS:
         if key in row:
             record[key] = row[key]
@@ -71,12 +116,15 @@ def _record_from_row(figure, scale, row):
     return record
 
 
-def collect(results_dir=DEFAULT_RESULTS_DIR):
+def collect(results_dir=DEFAULT_RESULTS_DIR, rev=None):
     """Flatten every per-figure JSON under ``results_dir`` into records.
 
     Returns ``(records, skipped)`` where ``skipped`` counts rows without
     raw metrics (e.g. files written by older benchmark revisions).
+    Records are stamped with ``rev`` (default :func:`bench_rev`).
     """
+    if rev is None:
+        rev = bench_rev()
     records = []
     skipped = 0
     for path in sorted(glob.glob(os.path.join(results_dir, "*.json"))):
@@ -93,7 +141,7 @@ def collect(results_dir=DEFAULT_RESULTS_DIR):
         figure = payload.get("figure")
         scale = payload.get("scale")
         for row in payload.get("rows", []):
-            record = _record_from_row(figure, scale, row)
+            record = _record_from_row(figure, scale, row, rev)
             if record is None:
                 skipped += 1
             else:
@@ -112,18 +160,49 @@ def load_previous_records(path):
     return records if isinstance(records, list) else []
 
 
-def merge_records(fresh, previous):
+def merge_records(fresh, previous, max_revs=MAX_REVS_PER_FIGURE):
     """Merge freshly collected records into a previous trajectory.
 
-    Fresh records supersede previous records of the same *figure*
-    wholesale (figure files are always saved as whole tables, so a
-    re-run figure replaces all of its old rows); figures absent from
-    the fresh collection carry over.  Returns ``(merged, carried)``.
+    Fresh records supersede previous records of the same *figure and
+    revision* wholesale (figure files are always saved as whole tables,
+    so a re-run figure replaces all of its current-revision rows);
+    other revisions' rows carry over, building the multi-PR history
+    ``repro report --trend`` renders.  Previous records without a
+    ``rev`` stamp predate the history feature and are superseded by any
+    fresh run of their figure, exactly as the old figure-wholesale
+    merge did.  Per figure, only the newest ``max_revs`` revisions
+    survive.  Returns ``(merged, carried)``.
     """
     fresh_figures = {record.get("figure") for record in fresh}
-    carried = [record for record in previous
-               if record.get("figure") not in fresh_figures]
-    return fresh + carried, len(carried)
+    fresh_keys = {(record.get("figure"), record.get("rev"))
+                  for record in fresh}
+    carried = []
+    for record in previous:
+        key = (record.get("figure"), record.get("rev"))
+        if key in fresh_keys:
+            continue
+        if record.get("rev") is None and key[0] in fresh_figures:
+            continue
+        carried.append(record)
+    merged = fresh + carried
+    if max_revs is not None:
+        merged = _cap_revisions(merged, max_revs)
+        carried = [record for record in carried if record in merged]
+    return merged, len(carried)
+
+
+def _cap_revisions(records, max_revs):
+    """Keep only each figure's newest ``max_revs`` revisions."""
+    revs_by_figure = {}
+    for record in records:
+        revs_by_figure.setdefault(
+            record.get("figure"), set()).add(record.get("rev"))
+    keep = {}
+    for figure, revs in revs_by_figure.items():
+        newest = sorted(revs, key=_rev_key)[-max_revs:]
+        keep[figure] = set(newest)
+    return [record for record in records
+            if record.get("rev") in keep[record.get("figure")]]
 
 
 def count_new_records(records, previous):
@@ -133,8 +212,19 @@ def count_new_records(records, previous):
                if json.dumps(record, sort_keys=True) not in seen)
 
 
+def per_figure_new(records, previous):
+    """``{figure: new-record count}`` of ``records`` vs ``previous``."""
+    seen = {json.dumps(record, sort_keys=True) for record in previous}
+    counts = {}
+    for record in records:
+        fresh = json.dumps(record, sort_keys=True) not in seen
+        figure = record.get("figure")
+        counts[figure] = counts.get(figure, 0) + (1 if fresh else 0)
+    return counts
+
+
 def write_trajectory(results_dir=DEFAULT_RESULTS_DIR, output=None,
-                     merge=True):
+                     merge=True, rev=None):
     """Write ``BENCH_RESULTS.json`` next to the per-figure files.
 
     With ``merge`` (the default) the previous output's records survive
@@ -142,7 +232,7 @@ def write_trajectory(results_dir=DEFAULT_RESULTS_DIR, output=None,
     refresh the trajectory instead of truncating it.  Returns the path
     written, or None when there is nothing to export.
     """
-    records, skipped = collect(results_dir)
+    records, skipped = collect(results_dir, rev=rev)
     if not records and not os.path.isdir(results_dir):
         return None
     if output is None:
@@ -187,13 +277,19 @@ def main(argv=None):
     parser.add_argument("--require-new", action="store_true",
                         help="exit non-zero when no new rows were "
                              "gained over the baseline (CI guard "
-                             "against an empty/stale trajectory)")
+                             "against an empty/stale trajectory), and "
+                             "name the benchmarks that contributed "
+                             "zero new rows")
+    parser.add_argument("--rev", default=None,
+                        help="revision stamp for collected records "
+                             "(default: REPRO_BENCH_REV or the repro "
+                             "package version)")
     args = parser.parse_args(argv)
     output = args.output or os.path.join(args.results,
                                          "BENCH_RESULTS.json")
     baseline = load_previous_records(args.previous or output)
     path = write_trajectory(args.results, args.output,
-                            merge=not args.no_merge)
+                            merge=not args.no_merge, rev=args.rev)
     if path is None:
         print("no results under %s" % args.results, file=sys.stderr)
         return 1
@@ -206,6 +302,13 @@ def main(argv=None):
           "%d new vs baseline; %d rows without raw metrics)"
           % (path, len(records), len(records) - carried, carried,
              new, payload["skipped_rows"]))
+    if args.require_new:
+        stale = sorted(
+            str(figure) for figure, count
+            in per_figure_new(records, baseline).items() if count == 0)
+        if stale:
+            print("benchmarks contributing zero new rows: %s"
+                  % ", ".join(stale), file=sys.stderr)
     if args.require_new and new == 0:
         print("error: trajectory gained no new rows (benchmarks did "
               "not run or produced nothing new)", file=sys.stderr)

@@ -14,7 +14,10 @@ Scale" (Wen, Qin, Zhang, Lin, Yu -- ICDE 2016).  The public API exposes:
 * the serving layer (:class:`~repro.service.CoreService` -- cached
   queries, journaled update batches, checkpointed restarts),
 * k-core queries (:func:`k_core_nodes`, :func:`degeneracy`), and
-* the synthetic dataset registry (:func:`~repro.datasets.load_dataset`).
+* the synthetic dataset registry (:func:`~repro.datasets.load_dataset`),
+* and the telemetry plane (:class:`~repro.obs.MetricsRegistry`,
+  :func:`~repro.obs.enable_tracing`, :class:`~repro.obs.MetricsServer`
+  -- metrics, phase-attributed spans, Prometheus exposition).
 
 Quickstart::
 
@@ -60,6 +63,13 @@ from repro.core import (
     sharded_semi_core_star,
 )
 from repro.datasets import load_dataset
+from repro.obs import (
+    MetricsRegistry,
+    MetricsServer,
+    disable_tracing,
+    enable_tracing,
+    span,
+)
 from repro.service import CoreService, EventJournal, ServiceCache
 
 __all__ = [
@@ -95,4 +105,9 @@ __all__ = [
     "CoreService",
     "ServiceCache",
     "EventJournal",
+    "MetricsRegistry",
+    "MetricsServer",
+    "enable_tracing",
+    "disable_tracing",
+    "span",
 ]

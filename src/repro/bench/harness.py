@@ -23,6 +23,7 @@ from repro.core.semicore import semi_core
 from repro.core.semicore_plus import semi_core_plus
 from repro.core.semicore_star import semi_core_star
 from repro.errors import ReproError
+from repro.obs.trace import span
 from repro.storage.dynamic import DynamicGraph
 from repro.storage.memgraph import MemoryGraph
 
@@ -59,7 +60,11 @@ def run_decomposition(algorithm, graph, *, engine=None, **kwargs):
                 "algorithm %r has no engine support (engine-aware: %s)"
                 % (algorithm, ", ".join(ENGINE_AWARE_ALGORITHMS))
             )
-    return runner(graph, **kwargs)
+    # One coarse span around the whole run: numpy-engine kernels have no
+    # per-pass spans of their own, so this keeps every engine attributed.
+    with span("decompose", io=getattr(graph, "io_stats", None),
+              algorithm=name, engine=engine or "python"):
+        return runner(graph, **kwargs)
 
 
 def compare_engines(algorithm, storage, engines=("python", "numpy"),

@@ -155,15 +155,7 @@ def _cmd_maintain(args):
 
 
 def _cmd_serve(args):
-    from repro.service import (
-        CoreService,
-        DEFAULT_SEGMENT_EVENTS,
-        generate_queries,
-        generate_updates,
-        in_batches,
-        run_concurrent_workload,
-        run_mixed_workload,
-    )
+    from repro.service import CoreService, DEFAULT_SEGMENT_EVENTS
 
     if args.batch_size < 1:
         raise ReproError("--batch-size must be positive, got %d"
@@ -194,6 +186,45 @@ def _cmd_serve(args):
             storage, algorithm=args.algorithm, engine=args.engine,
             cache_capacity=args.cache_capacity, data_dir=args.data_dir,
             segment_events=args.segment_events)
+    registry = metrics_server = tracer = None
+    if args.metrics_port is not None or args.metrics_dump:
+        from repro.obs import MetricsRegistry, MetricsServer
+
+        registry = MetricsRegistry()
+        service.register_metrics(registry)
+        metrics_server = MetricsServer(registry,
+                                       port=args.metrics_port or 0)
+        metrics_server.start()
+        print("serving metrics at %s" % metrics_server.url)
+    if args.trace_jsonl:
+        from repro.obs import enable_tracing
+
+        tracer = enable_tracing(path=args.trace_jsonl,
+                                registry=registry)
+    try:
+        return _serve_workload(args, service, metrics_server)
+    finally:
+        if tracer is not None:
+            from repro.obs import disable_tracing
+
+            disable_tracing()
+            print("wrote %d trace span(s) to %s"
+                  % (tracer.spans_recorded, args.trace_jsonl))
+        if metrics_server is not None:
+            metrics_server.stop()
+        service.close()
+        storage.close()
+
+
+def _serve_workload(args, service, metrics_server):
+    from repro.service import (
+        generate_queries,
+        generate_updates,
+        in_batches,
+        run_concurrent_workload,
+        run_mixed_workload,
+    )
+
     kmax = service.degeneracy()
     queries = generate_queries(service.num_nodes, kmax, args.queries,
                                seed=args.seed)
@@ -245,6 +276,15 @@ def _cmd_serve(args):
         ("quarantined batches", format_count(len(sstats["quarantined"]))),
     ]
     print(format_table(("metric", "value"), rows))
+    if metrics_server is not None and args.metrics_dump:
+        from repro.obs import scrape
+
+        # Scraped over real HTTP from the live endpoint -- the dump is
+        # exactly what an external Prometheus scraper would see.
+        body = scrape(metrics_server.url)
+        with open(args.metrics_dump, "w", encoding="utf-8") as handle:
+            handle.write(body)
+        print("metrics exposition written to %s" % args.metrics_dump)
     if args.data_dir:
         service.checkpoint()
         jstats = service.journal.stats()
@@ -252,8 +292,6 @@ def _cmd_serve(args):
               "%s after compaction)"
               % (args.data_dir, service.epoch, jstats["segments"],
                  format_bytes(jstats["disk_bytes"])))
-    service.close()
-    storage.close()
     return 0
 
 
@@ -332,17 +370,32 @@ def _cmd_report(args):
 
     from repro.bench.reporting import load_results
 
+    if args.trend or args.regress:
+        return _report_trend(args)
     paths = sorted(glob.glob(os.path.join(args.results, "*.json")))
     if not paths:
         print("no result files under %s" % args.results, file=sys.stderr)
         return 1
     for path in paths:
-        payload = load_results(path)
+        if os.path.basename(path) == "BENCH_RESULTS.json":
+            continue  # the trajectory; rendered by --trend
+        try:
+            payload = load_results(path)
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
+            print("skipping %s: %s" % (path, exc), file=sys.stderr)
+            continue
+        if not isinstance(payload, dict):
+            print("skipping %s: not a result table" % path,
+                  file=sys.stderr)
+            continue
         rows = payload.get("rows", [])
+        if not isinstance(rows, list):
+            rows = []
+        rows = [row for row in rows if isinstance(row, dict)]
         if not rows:
             continue
-        if args.figure and args.figure.lower() not in \
-                payload["figure"].lower():
+        figure = str(payload.get("figure") or os.path.basename(path))
+        if args.figure and args.figure.lower() not in figure.lower():
             continue
         # Raw metric fields (saved for collect_results.py) stay out of
         # the rendered table, exactly as the benchmark sink prints it.
@@ -350,13 +403,49 @@ def _cmd_report(args):
         print(format_table(
             headers,
             [[row.get(h, "") for h in headers] for row in rows],
-            title="== %s (scale %s) ==" % (payload["figure"],
+            title="== %s (scale %s) ==" % (figure,
                                            payload.get("scale", "?")),
         ))
         summary = _service_summary(rows)
         if summary:
             print(summary)
         print()
+    return 0
+
+
+def _report_trend(args):
+    """``repro report --trend [--regress metric:pct]``: the trajectory
+    as per-benchmark trend tables, exit 2 on a tripped regression rule."""
+    from repro.bench.trend import (
+        check_regressions,
+        load_trajectory,
+        parse_rule,
+        render_trend,
+    )
+
+    path = args.trajectory or os.path.join(args.results,
+                                           "BENCH_RESULTS.json")
+    try:
+        rules = [parse_rule(text) for text in (args.regress or [])]
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    records = load_trajectory(path)
+    if not records:
+        # Graceful: an empty/missing trajectory is a state to report,
+        # not a crash -- CI jobs that ran no benchmarks still pass.
+        print("no benchmark trajectory at %s (run the benchmarks, then "
+              "benchmarks/collect_results.py)" % path)
+        return 0
+    if args.trend:
+        print(render_trend(records), end="")
+    regressions = check_regressions(records, rules)
+    for regression in regressions:
+        print("regression: %s" % regression, file=sys.stderr)
+    if regressions:
+        return 2
+    if rules:
+        print("no regressions under %d rule(s)" % len(rules))
     return 0
 
 
@@ -492,6 +581,17 @@ def build_parser():
     p.add_argument("--threads", type=int, default=0,
                    help="reader threads racing the update writer "
                         "(0 = single-threaded interleaved workload)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve a Prometheus /metrics endpoint on this "
+                        "port while the workload runs (0 picks a free "
+                        "port; the bound URL is printed)")
+    p.add_argument("--metrics-dump", metavar="PATH", default=None,
+                   help="after the workload, scrape the live /metrics "
+                        "endpoint over HTTP and write the exposition "
+                        "text here (implies a metrics endpoint)")
+    p.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                   help="record phase-attributed spans (apply stages, "
+                        "maintenance passes) as JSONL here")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("scrub",
@@ -517,6 +617,19 @@ def build_parser():
     p.add_argument("--results", default="benchmarks/results",
                    help="directory of result JSON files")
     p.add_argument("--figure", help="only figures whose name contains this")
+    p.add_argument("--trend", action="store_true",
+                   help="render per-benchmark trend tables (sparklines "
+                        "across revisions) from the BENCH_RESULTS.json "
+                        "trajectory instead of the per-figure tables")
+    p.add_argument("--regress", metavar="METRIC:PCT", action="append",
+                   help="exit 2 when METRIC worsened by more than PCT "
+                        "percent between the last two revisions of any "
+                        "benchmark series (repeatable; throughput-like "
+                        "metrics regress by dropping, everything else "
+                        "by rising)")
+    p.add_argument("--trajectory", default=None,
+                   help="trajectory file for --trend/--regress "
+                        "(default: <results>/BENCH_RESULTS.json)")
     p.set_defaults(func=_cmd_report)
     return parser
 

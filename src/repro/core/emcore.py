@@ -25,6 +25,7 @@ from array import array
 
 from repro.core.result import DecompositionResult, io_delta, io_snapshot
 from repro.errors import GraphError
+from repro.obs.trace import span
 from repro.storage.partition import PartitionStore
 from repro.storage.partition_codec import RECORD_OVERHEAD as _RECORD_OVERHEAD
 
@@ -146,17 +147,21 @@ def em_core(storage, *, memory_budget_bytes=None, partition_arcs=None,
         pending = []
         pending_arcs = 0
 
-    for v, nbrs in storage.iter_adjacency():
-        if len(nbrs) == 0:
-            core[v] = 0
-            continue
-        if pending_arcs and pending_arcs + len(nbrs) > partition_arcs:
-            flush_partition()
-        # The scan yields fresh adjacency arrays; keeping them avoids the
-        # per-edge Python list rebuild the partition writer used to do.
-        pending.append((v, nbrs))
-        pending_arcs += len(nbrs)
-    flush_partition()
+    with span("emcore.partition",
+              io=getattr(storage, "io_stats", None)) as part_span:
+        for v, nbrs in storage.iter_adjacency():
+            if len(nbrs) == 0:
+                core[v] = 0
+                continue
+            if pending_arcs and pending_arcs + len(nbrs) > partition_arcs:
+                flush_partition()
+            # The scan yields fresh adjacency arrays; keeping them avoids
+            # the per-edge Python list rebuild the partition writer used
+            # to do.
+            pending.append((v, nbrs))
+            pending_arcs += len(nbrs)
+        flush_partition()
+        part_span.annotate(partitions=len(metas))
 
     # ------------------------------------------------------------------
     # Top-down range computation.
@@ -165,97 +170,103 @@ def em_core(storage, *, memory_budget_bytes=None, partition_arcs=None,
     peak_loaded = 0
     while metas:
         rounds += 1
-        groups = {}
-        for pid, meta in metas.items():
-            groups.setdefault(meta["max_ub"], []).append(pid)
-        ordered = sorted(groups.items(), reverse=True)
-        ku = ordered[0][0]
+        with span("emcore.round", io=getattr(storage, "io_stats", None),
+                  round=rounds) as round_span:
+            groups = {}
+            for pid, meta in metas.items():
+                groups.setdefault(meta["max_ub"], []).append(pid)
+            ordered = sorted(groups.items(), reverse=True)
+            ku = ordered[0][0]
 
-        selected = []
-        loaded_bytes = 0
-        kl = 1
-        for bound, pids in ordered:
-            group_bytes = sum(metas[p]["bytes"] for p in pids)
-            if selected and loaded_bytes + group_bytes > memory_budget_bytes:
-                kl = bound + 1
-                break
-            selected.extend(pids)
-            loaded_bytes += group_bytes
-        kl = max(1, min(kl, ku))
-        exhaustive = len(selected) == len(metas)
-        peak_loaded = max(peak_loaded, loaded_bytes)
+            selected = []
+            loaded_bytes = 0
+            kl = 1
+            for bound, pids in ordered:
+                group_bytes = sum(metas[p]["bytes"] for p in pids)
+                if (selected
+                        and loaded_bytes + group_bytes
+                        > memory_budget_bytes):
+                    kl = bound + 1
+                    break
+                selected.extend(pids)
+                loaded_bytes += group_bytes
+            kl = max(1, min(kl, ku))
+            exhaustive = len(selected) == len(metas)
+            peak_loaded = max(peak_loaded, loaded_bytes)
+            round_span.annotate(kl=kl, ku=ku, partitions=len(selected))
 
-        gmem = {}
-        members = {}
-        for pid in selected:
-            records = store.read(pid)
-            members[pid] = [v for v, _ in records]
-            for v, nbrs in records:
-                if core[v] < 0:
-                    gmem[v] = nbrs
+            gmem = {}
+            members = {}
+            for pid in selected:
+                records = store.read(pid)
+                members[pid] = [v for v, _ in records]
+                for v, nbrs in records:
+                    if core[v] < 0:
+                        gmem[v] = nbrs
 
-        local_adj = {
-            v: [u for u in nbrs if u in gmem] for v, nbrs in gmem.items()
-        }
-        support = {v: deposit[v] for v in gmem}
-        values = _peel_with_support(local_adj, support)
-        computations += len(values)
-
-        finalized_now = []
-        for v, value in values.items():
-            if value >= kl or exhaustive:
-                core[v] = value
-                finalized_now.append(v)
-        for v in finalized_now:
-            for u in gmem[v]:
-                if core[u] < 0:
-                    deposit[u] += 1
-
-        # Write back shrunken partitions, refreshing upper bounds.
-        survivors_small = []
-        for pid in selected:
-            remaining = []
-            for v in members[pid]:
-                if core[v] < 0:
-                    filtered = [u for u in gmem[v] if core[u] < 0]
-                    remaining.append((v, filtered))
-            if not remaining:
-                store.delete(pid)
-                metas.pop(pid)
-                continue
-            refreshed = _partition_upper_bounds(remaining, deposit)
-            computations += len(refreshed)
-            cap = kl - 1
-            finalize_zero = []
-            kept = []
-            for v, nbrs in remaining:
-                bound = min(ub[v], cap, refreshed[v])
-                if bound <= 0:
-                    core[v] = 0
-                    finalize_zero.append(v)
-                else:
-                    ub[v] = bound
-                    kept.append((v, nbrs))
-            if finalize_zero:
-                zero_set = set(finalize_zero)
-                kept = [(v, [u for u in nbrs if u not in zero_set])
-                        for v, nbrs in kept]
-            if not kept:
-                store.delete(pid)
-                metas.pop(pid)
-                continue
-            size = store.rewrite(pid, kept)
-            metas[pid] = {
-                "bytes": size,
-                "max_ub": max(ub[v] for v, _ in kept),
-                "nodes": len(kept),
+            local_adj = {
+                v: [u for u in nbrs if u in gmem]
+                for v, nbrs in gmem.items()
             }
-            if merge_partitions and size < partition_arcs * 2:
-                survivors_small.append(pid)
+            support = {v: deposit[v] for v in gmem}
+            values = _peel_with_support(local_adj, support)
+            computations += len(values)
 
-        if merge_partitions and len(survivors_small) > 1:
-            _merge_small_partitions(store, metas, survivors_small,
-                                    partition_arcs, ub)
+            finalized_now = []
+            for v, value in values.items():
+                if value >= kl or exhaustive:
+                    core[v] = value
+                    finalized_now.append(v)
+            for v in finalized_now:
+                for u in gmem[v]:
+                    if core[u] < 0:
+                        deposit[u] += 1
+
+            # Write back shrunken partitions, refreshing upper bounds.
+            survivors_small = []
+            for pid in selected:
+                remaining = []
+                for v in members[pid]:
+                    if core[v] < 0:
+                        filtered = [u for u in gmem[v] if core[u] < 0]
+                        remaining.append((v, filtered))
+                if not remaining:
+                    store.delete(pid)
+                    metas.pop(pid)
+                    continue
+                refreshed = _partition_upper_bounds(remaining, deposit)
+                computations += len(refreshed)
+                cap = kl - 1
+                finalize_zero = []
+                kept = []
+                for v, nbrs in remaining:
+                    bound = min(ub[v], cap, refreshed[v])
+                    if bound <= 0:
+                        core[v] = 0
+                        finalize_zero.append(v)
+                    else:
+                        ub[v] = bound
+                        kept.append((v, nbrs))
+                if finalize_zero:
+                    zero_set = set(finalize_zero)
+                    kept = [(v, [u for u in nbrs if u not in zero_set])
+                            for v, nbrs in kept]
+                if not kept:
+                    store.delete(pid)
+                    metas.pop(pid)
+                    continue
+                size = store.rewrite(pid, kept)
+                metas[pid] = {
+                    "bytes": size,
+                    "max_ub": max(ub[v] for v, _ in kept),
+                    "nodes": len(kept),
+                }
+                if merge_partitions and size < partition_arcs * 2:
+                    survivors_small.append(pid)
+
+            if merge_partitions and len(survivors_small) > 1:
+                _merge_small_partitions(store, metas, survivors_small,
+                                        partition_arcs, ub)
 
     unknown = [v for v in range(n) if core[v] < 0]
     if unknown:

@@ -15,6 +15,7 @@ import time
 from array import array
 
 from repro.core.result import DecompositionResult, io_delta, io_snapshot
+from repro.obs.trace import span
 from repro.storage.blockio import IOStats
 
 
@@ -100,8 +101,10 @@ def im_core(graph, *, engine=None):
     started = time.perf_counter()
     snapshot = io_snapshot(graph)
     n = graph.num_nodes
-    offsets, targets = _load_adjacency(graph)
-    cores, computations = bin_sort_core(offsets, targets, n)
+    with span("imcore.load", io=getattr(graph, "io_stats", None)):
+        offsets, targets = _load_adjacency(graph)
+    with span("imcore.peel"):
+        cores, computations = bin_sort_core(offsets, targets, n)
     elapsed = time.perf_counter() - started
     io = io_delta(graph, snapshot)
     if io is None:

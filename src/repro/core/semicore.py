@@ -15,6 +15,7 @@ from array import array
 from repro.core.locality import local_core
 from repro.core.result import DecompositionResult, io_delta, io_snapshot
 from repro.errors import GraphError
+from repro.obs.trace import span
 
 
 def semi_core(graph, *, initial_cores=None, trace_changes=False,
@@ -73,17 +74,20 @@ def semi_core(graph, *, initial_cores=None, trace_changes=False,
         update = False
         changed = 0
         computed = [] if trace_computed else None
-        for v, nbrs in graph.iter_adjacency():
-            cold = core[v]
-            computations += 1
-            if trace_computed:
-                computed.append(v)
-            if len(nbrs) > max_degree_seen:
-                max_degree_seen = len(nbrs)
-            cnew = local_core(core, nbrs, cold)
-            if cnew != cold:
-                core[v] = cnew
-                changed += 1
+        with span("semicore.pass", io=getattr(graph, "io_stats", None),
+                  iteration=iterations) as pass_span:
+            for v, nbrs in graph.iter_adjacency():
+                cold = core[v]
+                computations += 1
+                if trace_computed:
+                    computed.append(v)
+                if len(nbrs) > max_degree_seen:
+                    max_degree_seen = len(nbrs)
+                cnew = local_core(core, nbrs, cold)
+                if cnew != cold:
+                    core[v] = cnew
+                    changed += 1
+            pass_span.annotate(changed=changed)
         iterations += 1
         if changed:
             update = True

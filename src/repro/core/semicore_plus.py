@@ -21,6 +21,7 @@ from array import array
 from repro.core.locality import local_core
 from repro.core.result import DecompositionResult, io_delta, io_snapshot
 from repro.errors import GraphError
+from repro.obs.trace import span
 
 
 def semi_core_plus(graph, *, initial_cores=None, trace_changes=False,
@@ -65,30 +66,34 @@ def semi_core_plus(graph, *, initial_cores=None, trace_changes=False,
         changed = 0
         computed = [] if trace_computed else None
         iterations += 1
-        while current:
-            v = heapq.heappop(current)
-            if not active[v]:
-                continue
-            active[v] = 0
-            nbrs = graph.neighbors(v)
-            computations += 1
-            if trace_computed:
-                computed.append(v)
-            if len(nbrs) > max_degree_seen:
-                max_degree_seen = len(nbrs)
-            cold = core[v]
-            cnew = local_core(core, nbrs, cold)
-            if cnew == cold:
-                continue
-            core[v] = cnew
-            changed += 1
-            for u in nbrs:
-                if not active[u]:
-                    active[u] = 1
-                    if u > v:
-                        heapq.heappush(current, u)
-                    else:
-                        upcoming.append(u)
+        with span("semicore_plus.pass",
+                  io=getattr(graph, "io_stats", None),
+                  iteration=iterations) as pass_span:
+            while current:
+                v = heapq.heappop(current)
+                if not active[v]:
+                    continue
+                active[v] = 0
+                nbrs = graph.neighbors(v)
+                computations += 1
+                if trace_computed:
+                    computed.append(v)
+                if len(nbrs) > max_degree_seen:
+                    max_degree_seen = len(nbrs)
+                cold = core[v]
+                cnew = local_core(core, nbrs, cold)
+                if cnew == cold:
+                    continue
+                core[v] = cnew
+                changed += 1
+                for u in nbrs:
+                    if not active[u]:
+                        active[u] = 1
+                        if u > v:
+                            heapq.heappush(current, u)
+                        else:
+                            upcoming.append(u)
+            pass_span.annotate(changed=changed)
         current = upcoming
         if trace_changes:
             changes.append(changed)

@@ -23,6 +23,7 @@ from typing import List, NamedTuple, Optional, Set
 from repro.core.locality import local_core
 from repro.core.result import DecompositionResult, io_delta, io_snapshot
 from repro.errors import GraphError
+from repro.obs.trace import span
 
 
 class ConvergeStats(NamedTuple):
@@ -61,38 +62,42 @@ def converge_star(graph, core, cnt, candidates, *, trace_changes=False,
         changed_this_pass = 0
         computed = [] if trace_computed else None
         iterations += 1
-        while current:
-            v = heapq.heappop(current)
-            if cnt[v] >= core[v]:
-                continue
-            nbrs = graph.neighbors(v)
-            computations += 1
-            if trace_computed:
-                computed.append(v)
-            if len(nbrs) > max_degree_seen:
-                max_degree_seen = len(nbrs)
-            cold = core[v]
-            cnew = local_core(core, nbrs, cold)
-            core[v] = cnew
-            fresh_cnt = 0
-            for u in nbrs:
-                if core[u] >= cnew:
-                    fresh_cnt += 1
-            cnt[v] = fresh_cnt
-            if cnew == cold:
-                continue
-            changed.add(v)
-            changed_this_pass += 1
-            for u in nbrs:
-                cu = core[u]
-                if cnew < cu <= cold:
-                    cnt[u] -= 1
-            for u in nbrs:
-                if cnt[u] < core[u]:
-                    if u > v:
-                        heapq.heappush(current, u)
-                    elif u < v:
-                        upcoming.append(u)
+        with span("semicore_star.pass",
+                  io=getattr(graph, "io_stats", None),
+                  iteration=iterations) as pass_span:
+            while current:
+                v = heapq.heappop(current)
+                if cnt[v] >= core[v]:
+                    continue
+                nbrs = graph.neighbors(v)
+                computations += 1
+                if trace_computed:
+                    computed.append(v)
+                if len(nbrs) > max_degree_seen:
+                    max_degree_seen = len(nbrs)
+                cold = core[v]
+                cnew = local_core(core, nbrs, cold)
+                core[v] = cnew
+                fresh_cnt = 0
+                for u in nbrs:
+                    if core[u] >= cnew:
+                        fresh_cnt += 1
+                cnt[v] = fresh_cnt
+                if cnew == cold:
+                    continue
+                changed.add(v)
+                changed_this_pass += 1
+                for u in nbrs:
+                    cu = core[u]
+                    if cnew < cu <= cold:
+                        cnt[u] -= 1
+                for u in nbrs:
+                    if cnt[u] < core[u]:
+                        if u > v:
+                            heapq.heappush(current, u)
+                        elif u < v:
+                            upcoming.append(u)
+            pass_span.annotate(changed=changed_this_pass)
         current = upcoming
         if trace_changes:
             changes.append(changed_this_pass)

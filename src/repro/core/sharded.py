@@ -61,6 +61,7 @@ from repro.core.engines import DEFAULT_ENGINE, engine_implementation
 from repro.core.result import DecompositionResult
 from repro.core.semicore_star import converge_star
 from repro.errors import ExecutorError, GraphError, ReproError
+from repro.obs.trace import span
 from repro.storage.blockio import DEFAULT_BLOCK_SIZE, IOStats, \
     MemoryBlockDevice
 from repro.storage.shards import ShardedGraphStorage
@@ -266,6 +267,23 @@ def executor_names():
     return sorted(EXECUTORS)
 
 
+def register_executor_metrics(executor, registry):
+    """Pull-mode views of an executor's counters on ``registry``.
+
+    Works for any resolved executor object; executors without a
+    ``respawns`` counter (e.g. serial) report 0.  Returns ``registry``.
+    """
+    registry.counter(
+        "repro_executor_respawns",
+        "Worker pools torn down and re-forked after a lost worker."
+    ).set_function(lambda: getattr(executor, "respawns", 0))
+    registry.gauge(
+        "repro_executor_processes",
+        "Configured worker processes (0 = in-process serial)."
+    ).set_function(lambda: getattr(executor, "processes", None) or 0)
+    return registry
+
+
 def get_executor(executor):
     """Resolve an executor spec: None, a registered name, or an object.
 
@@ -390,28 +408,35 @@ def sharded_semi_core_star(graph, num_shards, *, engine=None,
         _ACTIVE_SHARDS = sharded.shards
         while True:
             rounds += 1
-            tasks = []
-            for shard, device, boundary in zip(sharded.shards, estimates,
-                                               boundary_cache):
-                owned = _read_estimates(device, shard.num_owned)
-                halo = _gather_boundary(boundary, sharded.bounds,
-                                        estimates)
-                tasks.append((shard.index, engine_name, owned, halo))
-            results = exec_obj.run(_run_shard_pass, tasks)
-            changed = 0
-            for shard, device, task, outcome in zip(
-                    sharded.shards, estimates, tasks, results):
-                cores, comps, _, memory, io_counts = outcome
-                _apply_io(stats, io_counts)
-                computations += comps
-                local_state = memory + \
-                    12 * shard.num_local + 4 * shard.num_owned
-                if local_state > peak_memory:
-                    peak_memory = local_state
-                if cores != task[2]:
-                    changed += sum(1 for a, b in zip(cores, task[2])
-                                   if a != b)
-                    device.write_at(0, cores.tobytes())
+            with span("sharded.round", io=stats, round=rounds,
+                      shards=len(sharded.shards)) as round_span:
+                tasks = []
+                with span("sharded.gather", io=stats, round=rounds):
+                    for shard, device, boundary in zip(
+                            sharded.shards, estimates, boundary_cache):
+                        owned = _read_estimates(device, shard.num_owned)
+                        halo = _gather_boundary(boundary, sharded.bounds,
+                                                estimates)
+                        tasks.append((shard.index, engine_name, owned,
+                                      halo))
+                results = exec_obj.run(_run_shard_pass, tasks)
+                changed = 0
+                with span("sharded.scatter", io=stats, round=rounds):
+                    for shard, device, task, outcome in zip(
+                            sharded.shards, estimates, tasks, results):
+                        cores, comps, _, memory, io_counts = outcome
+                        _apply_io(stats, io_counts)
+                        computations += comps
+                        local_state = memory + \
+                            12 * shard.num_local + 4 * shard.num_owned
+                        if local_state > peak_memory:
+                            peak_memory = local_state
+                        if cores != task[2]:
+                            changed += sum(1 for a, b
+                                           in zip(cores, task[2])
+                                           if a != b)
+                            device.write_at(0, cores.tobytes())
+                round_span.annotate(changed=changed)
             if trace_changes:
                 changes.append(changed)
             if not changed:

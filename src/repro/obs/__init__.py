@@ -1,0 +1,57 @@
+"""Unified telemetry plane: metrics, phase-attributed traces, exposition.
+
+Three small, dependency-free pieces:
+
+* :mod:`repro.obs.registry` -- thread-safe :class:`MetricsRegistry` of
+  counters / gauges / fixed-bucket histograms with labeled children and
+  push *or* pull collection;
+* :mod:`repro.obs.trace` -- nested :func:`span` phases recording wall
+  time + ``IOStats`` deltas, JSONL sink, near-zero cost while disabled;
+* :mod:`repro.obs.exposition` -- ``/metrics`` HTTP endpoint in
+  Prometheus text format 0.0.4 plus a strict :func:`parse_prometheus_text`
+  validator used by tests and CI.
+
+See ARCHITECTURE.md §7 for the metric-name catalogue and span taxonomy.
+"""
+
+from .exposition import MetricsServer, parse_prometheus_text, scrape
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    get_global_registry,
+    set_global_registry,
+)
+from .trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsServer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_global_registry",
+    "parse_prometheus_text",
+    "scrape",
+    "set_global_registry",
+    "span",
+    "tracing_enabled",
+]

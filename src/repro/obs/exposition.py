@@ -1,0 +1,295 @@
+"""Prometheus text-format exposition over HTTP, plus a format checker.
+
+:class:`MetricsServer` wraps :class:`http.server.ThreadingHTTPServer`
+around a :class:`~repro.obs.registry.MetricsRegistry`:
+
+* ``GET /metrics`` -- text exposition format 0.0.4
+  (``registry.render_prometheus()``);
+* ``GET /metrics.json`` -- the JSON ``registry.snapshot()``;
+* anything else -- 404.
+
+Port 0 binds an ephemeral port (the bound port is on ``server.port``),
+which is how tests and ``repro serve --metrics-port 0`` avoid
+collisions.  The server runs on a daemon thread; rendering takes the
+registry lock only briefly, so scrapes never stall the serving plane.
+
+:func:`parse_prometheus_text` is a strict-enough parser for the subset
+of the exposition format the registry emits.  It exists so tests and
+the CI scrape step can *fail on malformed lines* rather than eyeball
+the output: it checks name/label syntax, TYPE consistency, histogram
+``_bucket``/``_sum``/``_count`` completeness, that cumulative bucket
+counts are monotone and end at ``+Inf``, and that sample values parse
+as numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .registry import _LABEL_RE, _NAME_RE
+
+__all__ = [
+    "MetricsServer",
+    "parse_prometheus_text",
+    "scrape",
+]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$")
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<label>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*'
+    r"(?:,|$)")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Serves the owning :class:`MetricsServer`'s registry."""
+
+    server_version = "repro-metrics/1"
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = self.server.registry.render_prometheus().encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = json.dumps(self.server.registry.snapshot(),
+                              sort_keys=True).encode("utf-8")
+            ctype = "application/json"
+        else:
+            self.send_error(404, "unknown path %s" % path)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):
+        """Silence per-request stderr logging."""
+
+
+class MetricsServer:
+    """A /metrics endpoint for one registry, on a daemon thread.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        with MetricsServer(registry, port=0) as server:
+            text = scrape(server.url)
+    """
+
+    def __init__(self, registry, port=0, host="127.0.0.1"):
+        self.registry = registry
+        self._requested = (host, port)
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def port(self):
+        """The bound port (after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("metrics server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self):
+        """The ``http://host:port/metrics`` scrape URL."""
+        host = self._requested[0]
+        return "http://%s:%d/metrics" % (host, self.port)
+
+    def start(self):
+        """Bind the socket and start serving; returns self."""
+        if self._httpd is not None:
+            raise RuntimeError("metrics server already started")
+        httpd = ThreadingHTTPServer(self._requested, _Handler)
+        httpd.daemon_threads = True
+        httpd.registry = self.registry
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-metrics",
+            kwargs={"poll_interval": 0.1}, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self):
+        """Shut the server down and join its thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join()
+        self._httpd.server_close()
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+
+def scrape(url, timeout=5.0):
+    """Fetch ``url`` and return the decoded body (a plain GET)."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def _parse_labels(text):
+    labels = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_PAIR_RE.match(text, pos)
+        if match is None:
+            raise ValueError("malformed label block %r" % (text,))
+        raw = match.group("value")
+        labels[match.group("label")] = (
+            raw.replace(r"\"", '"').replace(r"\n", "\n")
+            .replace("\\\\", "\\"))
+        pos = match.end()
+    return labels
+
+
+def _parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus_text(text):
+    """Parse (and validate) exposition text; raises ValueError on error.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(sample_name, labels_dict, value), ...]}}``.  Validation covers the
+    subset the registry emits: every sample must belong to a declared
+    ``# TYPE``; histograms must expose ``_bucket``/``_sum``/``_count``
+    with monotone cumulative buckets ending at ``le="+Inf"``.
+    """
+    families = {}
+    current = None
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(
+                    "line %d: malformed comment %r" % (lineno, line))
+            _, keyword, name = parts[:3]
+            rest = parts[3] if len(parts) > 3 else ""
+            if not _NAME_RE.match(name):
+                raise ValueError(
+                    "line %d: invalid metric name %r" % (lineno, name))
+            family = families.setdefault(
+                name, {"type": None, "help": "", "samples": []})
+            if keyword == "TYPE":
+                if family["type"] is not None:
+                    raise ValueError(
+                        "line %d: duplicate TYPE for %s" % (lineno, name))
+                if rest not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    raise ValueError(
+                        "line %d: unknown type %r" % (lineno, rest))
+                family["type"] = rest
+                current = name
+            else:
+                family["help"] = rest
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError("line %d: malformed sample %r" % (lineno, line))
+        sample = match.group("name")
+        labels = _parse_labels(match.group("labels") or "")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(
+                    "line %d: invalid label name %r" % (lineno, label))
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                "line %d: non-numeric value %r"
+                % (lineno, match.group("value"))) from None
+        base = sample
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample[:-len(suffix)] if sample.endswith(suffix) else None
+            if (trimmed and trimmed in families
+                    and families[trimmed]["type"] == "histogram"):
+                base = trimmed
+                break
+        family = families.get(base)
+        if family is None or family["type"] is None:
+            raise ValueError(
+                "line %d: sample %r precedes its # TYPE" % (lineno, sample))
+        if family["type"] == "histogram" and base == sample:
+            raise ValueError(
+                "line %d: bare histogram sample %r (expected _bucket/"
+                "_sum/_count)" % (lineno, sample))
+        if current != base:
+            raise ValueError(
+                "line %d: sample %r interleaved outside its family block"
+                % (lineno, sample))
+        family["samples"].append((sample, labels, value))
+    _check_histograms(families)
+    return families
+
+
+def _check_histograms(families):
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        series = {}
+        sums = set()
+        counts = {}
+        for sample, labels, value in family["samples"]:
+            if sample == name + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    raise ValueError(
+                        "histogram %s bucket without le label" % name)
+                key = tuple(sorted((k, v) for k, v in labels.items()
+                                   if k != "le"))
+                series.setdefault(key, []).append(
+                    (_parse_value(le), value))
+            elif sample == name + "_sum":
+                sums.add(tuple(sorted(labels.items())))
+            elif sample == name + "_count":
+                counts[tuple(sorted(labels.items()))] = value
+            else:
+                raise ValueError(
+                    "histogram %s has stray sample %s" % (name, sample))
+        if not series:
+            raise ValueError("histogram %s has no _bucket samples" % name)
+        for key, buckets in series.items():
+            bounds = [b for b, _ in buckets]
+            if bounds != sorted(bounds):
+                raise ValueError(
+                    "histogram %s buckets out of order" % name)
+            if not math.isinf(bounds[-1]):
+                raise ValueError(
+                    "histogram %s missing le=\"+Inf\" bucket" % name)
+            cumulative = [c for _, c in buckets]
+            if any(a > b for a, b in zip(cumulative, cumulative[1:])):
+                raise ValueError(
+                    "histogram %s cumulative counts not monotone" % name)
+            if key not in counts:
+                raise ValueError(
+                    "histogram %s missing _count for %r" % (name, key))
+            if counts[key] != cumulative[-1]:
+                raise ValueError(
+                    "histogram %s _count %s != +Inf bucket %s"
+                    % (name, counts[key], cumulative[-1]))
+            if key not in sums:
+                raise ValueError(
+                    "histogram %s missing _sum for %r" % (name, key))

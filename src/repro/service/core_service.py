@@ -66,6 +66,7 @@ from repro.errors import (
     ServiceDegradedError,
     StorageError,
 )
+from repro.obs.trace import span
 from repro.service.cache import DEFAULT_CAPACITY, ServiceCache
 from repro.service.journal import (
     DEFAULT_SEGMENT_EVENTS,
@@ -231,6 +232,12 @@ class CoreService:
         #: Serving counters shared between reader threads.
         self._counter_lock = threading.Lock()
         self._snapshots_retired = 0
+        #: Push-mode metrics, created by :meth:`register_metrics`; the
+        #: hot paths check for None so an unregistered service pays
+        #: nothing.
+        self._m_apply_seconds = None
+        self._m_apply_outcomes = None
+        self._m_apply_retry_count = 0
         #: The published read plane: one sequential scan seeds it (the
         #: same figure any full pass pays); each applied batch advances
         #: it incrementally and swaps the pointer.
@@ -572,6 +579,95 @@ class CoreService:
             stats["journal"] = self._journal.stats()
         return stats
 
+    def register_metrics(self, registry):
+        """Re-home the serving counters onto a ``MetricsRegistry``.
+
+        The existing exact counters (``stats()`` fields, ``CacheStats``,
+        ``IOStats``, journal gauges) stay the single source of truth;
+        the registry attaches pull-mode views that read them at
+        collection time, so the hot paths pay nothing new and the old
+        dict shapes are preserved verbatim.  The only push-mode metrics
+        are the apply-latency histogram and per-outcome batch counter,
+        observed once per :meth:`apply` call.  Idempotent (re-registering
+        on the same registry refreshes the views); returns ``registry``.
+        """
+        gauge = registry.gauge
+        counter = registry.counter
+        gauge("repro_service_epoch",
+              "Update batches applied (current epoch)."
+              ).set_function(lambda: self._epoch)
+        counter("repro_service_events_applied",
+                "Edge events applied across all batches."
+                ).set_function(lambda: self._events_applied)
+        counter("repro_service_queries_served",
+                "Read-API calls answered."
+                ).set_function(lambda: self._queries_served)
+        gauge("repro_service_degraded",
+              "1 while the last write attempt failed, else 0."
+              ).set_function(lambda: 1 if self._degraded else 0)
+        gauge("repro_service_poisoned",
+              "1 while the write plane refuses batches, else 0."
+              ).set_function(lambda: 1 if self._poisoned else 0)
+        gauge("repro_service_quarantined_batches",
+              "Batches quarantined (journaled, never applied)."
+              ).set_function(lambda: len(self._quarantined))
+        counter("repro_service_events_quarantined",
+                "Edge events inside quarantined batches."
+                ).set_function(lambda: self._events_quarantined)
+        cache_stats = self._cache.stats
+        for field in ("hits", "misses", "evictions", "invalidations",
+                      "stale"):
+            counter("repro_cache_%s" % field,
+                    "Query cache %s." % field
+                    ).set_function(lambda f=field: getattr(cache_stats, f))
+        gauge("repro_cache_hit_rate",
+              "Query cache hit rate (0.0 before any lookup)."
+              ).set_function(lambda: cache_stats.hit_rate)
+        gauge("repro_cache_entries",
+              "Entries resident in the query cache."
+              ).set_function(lambda: len(self._cache))
+        gauge("repro_snapshot_epoch",
+              "Epoch of the published read snapshot."
+              ).set_function(lambda: self._snapshot.epoch)
+        gauge("repro_snapshot_pins",
+              "In-flight reader pins on the published snapshot."
+              ).set_function(lambda: self._snapshot.refcount)
+        counter("repro_snapshots_retired",
+                "Superseded snapshots fully released and dropped."
+                ).set_function(lambda: self._snapshots_retired)
+        for field, help_text in (
+                ("read_ios", "Block read I/Os of the served graph."),
+                ("write_ios", "Block write I/Os of the served graph."),
+                ("bytes_read", "Bytes read from the block devices."),
+                ("bytes_written", "Bytes written to the block devices.")):
+            counter("repro_io_%s" % field, help_text
+                    ).set_function(
+                lambda f=field: getattr(self.io_stats, f))
+        if self._journal is not None:
+            journal = self._journal
+            counter("repro_journal_fsyncs",
+                    "Journal data-file fsyncs issued."
+                    ).set_function(lambda: journal.fsyncs)
+            counter("repro_journal_events",
+                    "Events held by the journal (global offset)."
+                    ).set_function(lambda: journal.num_events)
+            gauge("repro_journal_segments",
+                  "Live journal segment files."
+                  ).set_function(lambda: len(journal.segments()))
+            gauge("repro_journal_disk_bytes",
+                  "Bytes of journal segments on disk."
+                  ).set_function(lambda: journal.stats()["disk_bytes"])
+        self._m_apply_seconds = registry.histogram(
+            "repro_apply_seconds",
+            "Wall-clock seconds per apply() batch.")
+        self._m_apply_outcomes = registry.counter(
+            "repro_apply_total",
+            "apply() batches by outcome.", labelnames=("outcome",))
+        counter("repro_apply_retries",
+                "Batch attempts retried after a storage failure."
+                ).set_function(lambda: self._m_apply_retry_count)
+        return registry
+
     def verify(self):
         """Recompute the decomposition from scratch and compare (debug)."""
         return self._maintainer.verify()
@@ -770,31 +866,61 @@ class CoreService:
             return self._finish_summary(self._maintainer.apply_batch([]),
                                         touched=0)
         self._check_algorithm(algorithm)
-        # Validation reads the graph, so it can hit the same flaky
-        # device as maintenance.  It mutates nothing, so a plain
-        # bounded retry suffices -- no rollback, and a persistent
-        # failure rejects the batch before anything is journaled.
-        for attempt in range(self._apply_retries + 1):
-            if attempt:
-                time.sleep(self._retry_backoff * (2 ** (attempt - 1)))
-            try:
-                self._validate_ops(ops)
-                break
-            except (OSError, StorageError):
-                if attempt == self._apply_retries:
-                    raise
-        batch = self._epoch + 1
-        if self._journal is not None:
-            self._journal.append(ops, batch)
-        if self._crash_after_journal is not None:
-            self._crash_after_journal()
-        summary = self._apply_with_recovery(ops, batch=batch,
-                                            algorithm=algorithm)
+        started = time.perf_counter()
+        outcome = "applied"
+        try:
+            with span("service.apply", io=self.io_stats,
+                      events=len(ops)) as apply_span:
+                # Validation reads the graph, so it can hit the same
+                # flaky device as maintenance.  It mutates nothing, so a
+                # plain bounded retry suffices -- no rollback, and a
+                # persistent failure rejects the batch before anything
+                # is journaled.
+                with span("service.validate", io=self.io_stats):
+                    for attempt in range(self._apply_retries + 1):
+                        if attempt:
+                            time.sleep(
+                                self._retry_backoff * (2 ** (attempt - 1)))
+                            self._m_apply_retry_count += 1
+                        try:
+                            self._validate_ops(ops)
+                            break
+                        except (OSError, StorageError):
+                            if attempt == self._apply_retries:
+                                raise
+                batch = self._epoch + 1
+                apply_span.annotate(batch=batch)
+                if self._journal is not None:
+                    with span("service.journal_append", io=self.io_stats):
+                        self._journal.append(ops, batch)
+                if self._crash_after_journal is not None:
+                    self._crash_after_journal()
+                summary = self._apply_with_recovery(ops, batch=batch,
+                                                    algorithm=algorithm)
+        except BatchQuarantinedError:
+            outcome = "quarantined"
+            raise
+        except ServiceDegradedError:
+            outcome = "degraded"
+            raise
+        except (OSError, StorageError):
+            outcome = "storage_error"
+            raise
+        except ReproError:
+            outcome = "rejected"
+            raise
+        finally:
+            if self._m_apply_seconds is not None:
+                self._m_apply_seconds.observe(
+                    time.perf_counter() - started)
+                self._m_apply_outcomes.labels(outcome=outcome).inc()
         if (self._data_dir is not None
                 and self._checkpoint_interval is not None
                 and self._epoch - self._last_checkpoint_epoch
                 >= self._checkpoint_interval):
-            self.checkpoint()
+            with span("service.checkpoint", io=self.io_stats,
+                      epoch=self._epoch):
+                self.checkpoint()
         return summary
 
     def checkpoint(self):
@@ -996,9 +1122,10 @@ class CoreService:
         # validate=False: the batch was already checked (with overlay
         # semantics) by _validate_ops, so re-validating inside the
         # maintenance kernels would only double the charged reads.
-        summary = self._maintainer.apply_batch(
-            ops, algorithm=algorithm or self._insert_algorithm,
-            validate=False)
+        with span("service.maintain", io=self.io_stats, batch=batch):
+            summary = self._maintainer.apply_batch(
+                ops, algorithm=algorithm or self._insert_algorithm,
+                validate=False)
         cores = self._maintainer.cores
         for _, u, v in ops:
             touched = max(touched, min(cores[u], cores[v]))
@@ -1008,10 +1135,12 @@ class CoreService:
         for _, u, v in ops:
             endpoints.add(u)
             endpoints.add(v)
-        snapshot = self._snapshot.advance(
-            self.graph, cores, epoch=batch,
-            events_applied=self._events_applied + len(ops),
-            touched=endpoints)
+        with span("service.snapshot_advance", io=self.io_stats,
+                  batch=batch):
+            snapshot = self._snapshot.advance(
+                self.graph, cores, epoch=batch,
+                events_applied=self._events_applied + len(ops),
+                touched=endpoints)
         # Only once every fallible step (maintenance, snapshot reads)
         # is behind us does the in-memory delta move: a failed attempt
         # never needs to untoggle it.
@@ -1019,7 +1148,8 @@ class CoreService:
             _toggle_delta(self._edge_delta, op, u, v)
         if self._crash_before_publish is not None:
             self._crash_before_publish()
-        self._publish(snapshot, summary["changed_nodes"], touched)
+        with span("service.publish", batch=batch):
+            self._publish(snapshot, summary["changed_nodes"], touched)
         return self._finish_summary(summary, touched)
 
     def _apply_with_recovery(self, ops, *, batch, algorithm=None):
@@ -1042,6 +1172,7 @@ class CoreService:
         for attempt in range(self._apply_retries + 1):
             if attempt:
                 time.sleep(self._retry_backoff * (2 ** (attempt - 1)))
+                self._m_apply_retry_count += 1
             try:
                 summary = self._apply_ops(ops, batch=batch,
                                           algorithm=algorithm)

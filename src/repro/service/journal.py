@@ -185,6 +185,10 @@ class EventJournal:
         self._closed = False
         self._handle = None
         self._quarantined = set()
+        #: Data-file fsyncs issued (appends, segment creation, tail
+        #: repair) -- the durability cost of ingest, surfaced by
+        #: ``stats()`` and the metrics registry.
+        self.fsyncs = 0
         self._segments = self._discover()
         if not self._segments:
             self._segments = [self._create_segment(1, 0)]
@@ -358,6 +362,7 @@ class EventJournal:
             "first_retained_event": self.first_retained_event,
             "quarantined_batches": len(self._quarantined),
             "disk_bytes": disk_bytes,
+            "fsyncs": self.fsyncs,
         }
 
     def recent_events(self):
@@ -458,10 +463,10 @@ class EventJournal:
     def _open_active(self):
         self._handle = open(self._active.path, "r+b")
 
-    @staticmethod
-    def _sync(handle):
+    def _sync(self, handle):
         handle.flush()
         os.fsync(handle.fileno())
+        self.fsyncs += 1
 
     def _discover(self):
         """Find live segments (and a legacy v1 file) under the dir."""

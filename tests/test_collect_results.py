@@ -202,3 +202,89 @@ class TestRequireNew:
         out = capsys.readouterr().out
         assert "3 collected" in out
         assert "3 new vs baseline" in out
+
+
+class TestRevisionHistory:
+    def test_records_are_rev_stamped(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_REV", "9.9.9")
+        directory = sample_results_dir(tmp_path)
+        records, _ = collect(directory)
+        assert records and all(r["rev"] == "9.9.9" for r in records)
+
+    def test_default_rev_is_package_version(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_REV", raising=False)
+        from repro._version import __version__
+        directory = sample_results_dir(tmp_path)
+        records, _ = collect(directory)
+        assert records[0]["rev"] == __version__
+
+    def test_other_revisions_survive_a_rerun(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        output = os.path.join(directory, "BENCH_RESULTS.json")
+        assert write_trajectory(directory, rev="1.5.0") == output
+        # A later PR re-runs the same figures under a new revision.
+        assert write_trajectory(directory, rev="1.6.0") == output
+        with open(output, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+        revs = sorted({r["rev"] for r in payload["records"]})
+        assert revs == ["1.5.0", "1.6.0"]
+        per_rev = {rev: sum(1 for r in payload["records"]
+                            if r["rev"] == rev) for rev in revs}
+        assert per_rev["1.5.0"] == per_rev["1.6.0"] == 3
+
+    def test_same_revision_rerun_replaces_not_duplicates(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        write_trajectory(directory, rev="1.6.0")
+        write_trajectory(directory, rev="1.6.0")
+        output = os.path.join(directory, "BENCH_RESULTS.json")
+        with open(output, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+        assert len(payload["records"]) == 3
+
+    def test_legacy_unstamped_records_superseded_wholesale(self, tmp_path):
+        directory = sample_results_dir(tmp_path)
+        output = os.path.join(directory, "BENCH_RESULTS.json")
+        # Simulate a pre-history trajectory: strip the rev stamps.
+        write_trajectory(directory, rev="1.5.0")
+        with open(output, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+        for record in payload["records"]:
+            del record["rev"]
+        with open(output, "w", encoding="ascii") as handle:
+            json.dump(payload, handle)
+        write_trajectory(directory, rev="1.6.0")
+        with open(output, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+        assert all(r["rev"] == "1.6.0" for r in payload["records"])
+        assert len(payload["records"]) == 3
+
+    def test_history_capped_per_figure(self, tmp_path):
+        from benchmarks.collect_results import MAX_REVS_PER_FIGURE
+        directory = sample_results_dir(tmp_path)
+        output = os.path.join(directory, "BENCH_RESULTS.json")
+        for minor in range(MAX_REVS_PER_FIGURE + 4):
+            write_trajectory(directory, rev="1.%d.0" % minor)
+        with open(output, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+        revs = sorted({r["rev"] for r in payload["records"]},
+                      key=lambda r: tuple(int(p) for p in r.split(".")))
+        assert len(revs) == MAX_REVS_PER_FIGURE
+        # The oldest revisions were dropped, the newest kept.
+        assert revs[-1] == "1.%d.0" % (MAX_REVS_PER_FIGURE + 3)
+
+    def test_require_new_names_stale_figures(self, tmp_path, capsys):
+        directory = sample_results_dir(tmp_path)
+        assert main(["--results", directory, "--rev", "1.6.0"]) == 0
+        capsys.readouterr()
+        # Refresh only Fig 9 under a new revision: Fig 10 contributes
+        # zero new rows and is named on stderr, but the run passes.
+        write_figure(directory, "fig9.json", "Fig 9", 1.0, [
+            {"dataset": "dblp", "algorithm": "SemiCore",
+             "engine": "python", "_seconds": 0.9},
+        ])
+        os.remove(os.path.join(directory, "fig10.json"))
+        assert main(["--results", directory, "--rev", "1.7.0",
+                     "--require-new"]) == 0
+        err = capsys.readouterr().err
+        assert "zero new rows" in err
+        assert "Fig 10" in err and "Fig 9" not in err

@@ -1,0 +1,147 @@
+"""Prometheus text exposition: rendering, serving, scraping, parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    MetricsServer,
+    parse_prometheus_text,
+    scrape,
+)
+
+
+def _sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_events_total", "Events applied.",
+                     labelnames=("outcome",)) \
+        .labels(outcome="applied").inc(3)
+    registry.gauge("repro_epoch", "Current epoch.").set(7)
+    histogram = registry.histogram("repro_apply_seconds",
+                                   "Apply latency.", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        histogram.observe(value)
+    return registry
+
+
+GOLDEN = """\
+# HELP repro_events_total Events applied.
+# TYPE repro_events_total counter
+repro_events_total{outcome="applied"} 3
+# HELP repro_epoch Current epoch.
+# TYPE repro_epoch gauge
+repro_epoch 7
+# HELP repro_apply_seconds Apply latency.
+# TYPE repro_apply_seconds histogram
+repro_apply_seconds_bucket{le="0.1"} 1
+repro_apply_seconds_bucket{le="1"} 2
+repro_apply_seconds_bucket{le="+Inf"} 3
+repro_apply_seconds_sum 5.55
+repro_apply_seconds_count 3
+"""
+
+
+def test_render_prometheus_golden():
+    assert _sample_registry().render_prometheus() == GOLDEN
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("repro_t_total", "t", labelnames=("name",)) \
+        .labels(name='a"b\\c\nd').inc()
+    text = registry.render_prometheus()
+    assert 'name="a\\"b\\\\c\\nd"' in text
+    parse_prometheus_text(text)  # still valid exposition
+
+
+def test_parse_roundtrip():
+    families = parse_prometheus_text(GOLDEN)
+    assert families["repro_events_total"]["type"] == "counter"
+    assert families["repro_epoch"]["type"] == "gauge"
+    (sample,) = families["repro_events_total"]["samples"]
+    assert sample == ("repro_events_total", {"outcome": "applied"}, 3.0)
+    histogram = families["repro_apply_seconds"]
+    assert histogram["type"] == "histogram"
+    names = [name for name, _, _ in histogram["samples"]]
+    assert "repro_apply_seconds_sum" in names
+    assert "repro_apply_seconds_count" in names
+
+
+@pytest.mark.parametrize("text", [
+    "repro_untyped 1\n",                       # sample without # TYPE
+    "# TYPE repro_x counter\nrepro_x nan-ish\n",   # unparseable value
+    "# TYPE 0bad counter\n0bad 1\n",           # invalid metric name
+    "# TYPE repro_h histogram\n"               # histogram w/o +Inf bucket
+    'repro_h_bucket{le="1"} 1\n'
+    "repro_h_sum 1\nrepro_h_count 1\n",
+    "# TYPE repro_h histogram\n"               # non-monotone cumulative
+    'repro_h_bucket{le="1"} 5\n'
+    'repro_h_bucket{le="+Inf"} 3\n'
+    "repro_h_sum 1\nrepro_h_count 3\n",
+])
+def test_parse_rejects_malformed(text):
+    with pytest.raises(ValueError):
+        parse_prometheus_text(text)
+
+
+def test_metrics_server_serves_and_scrapes():
+    registry = _sample_registry()
+    with MetricsServer(registry, port=0) as server:
+        assert server.port != 0  # a real bound port
+        body = scrape(server.url)
+        families = parse_prometheus_text(body)
+        assert families["repro_epoch"]["samples"][0][2] == 7.0
+        # live values: mutate, re-scrape
+        registry.gauge("repro_epoch", "Current epoch.").set(8)
+        families = parse_prometheus_text(scrape(server.url))
+        assert families["repro_epoch"]["samples"][0][2] == 8.0
+
+
+def test_metrics_server_json_and_404():
+    import json
+    import urllib.error
+    import urllib.request
+
+    registry = _sample_registry()
+    with MetricsServer(registry, port=0) as server:
+        base = server.url.rsplit("/metrics", 1)[0]
+        with urllib.request.urlopen(base + "/metrics.json") as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        assert payload["repro_epoch"]["kind"] == "gauge"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(base + "/nope")
+        assert excinfo.value.code == 404
+
+
+def test_service_registered_metrics_render_validly(tmp_path):
+    """The full service metric surface survives the strict parser."""
+    from repro.service import CoreService
+    from repro.storage.graphstore import GraphStorage
+
+    from tests.conftest import make_random_edges
+    import random
+
+    edges = make_random_edges(random.Random(5), 40, 0.15)
+    storage = GraphStorage.from_edges(edges, 40)
+    service = CoreService.from_storage(storage,
+                                       data_dir=str(tmp_path / "svc"))
+    registry = MetricsRegistry()
+    service.register_metrics(registry)
+    service.coreness(1)
+    service.apply([("+", 0, 1) if (0, 1) not in set(edges)
+                   else ("-", 0, 1)])
+    families = parse_prometheus_text(registry.render_prometheus())
+    for name in ("repro_service_epoch", "repro_service_queries_served",
+                 "repro_cache_hits", "repro_cache_hit_rate",
+                 "repro_snapshot_epoch", "repro_io_read_ios",
+                 "repro_journal_fsyncs", "repro_apply_seconds",
+                 "repro_apply_total"):
+        assert name in families, name
+    assert families["repro_service_queries_served"]["samples"][0][2] == 1.0
+    (outcome,) = families["repro_apply_total"]["samples"]
+    assert outcome[1] == {"outcome": "applied"}
+    assert outcome[2] == 1.0
+    assert families["repro_journal_fsyncs"]["samples"][0][2] > 0
+    service.close()
+    storage.close()

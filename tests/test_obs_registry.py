@@ -1,0 +1,185 @@
+"""MetricsRegistry: counters, gauges, histograms, labels, snapshots."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+
+def test_counter_inc_and_value():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_total", "test counter")
+    assert counter.value == 0
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+
+
+def test_counter_rejects_negative_and_decrement():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_total", "test counter")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("repro_test_gauge", "test gauge")
+    gauge.set(10)
+    gauge.inc(2)
+    gauge.dec(5)
+    assert gauge.value == 7
+
+
+def test_gauge_set_function_is_pull_mode():
+    registry = MetricsRegistry()
+    state = {"n": 3}
+    gauge = registry.gauge("repro_test_gauge", "test gauge")
+    gauge.set_function(lambda: state["n"])
+    assert gauge.value == 3
+    state["n"] = 9
+    assert gauge.value == 9  # read at collection time, not set time
+
+
+def test_registry_idempotent_and_kind_mismatch():
+    registry = MetricsRegistry()
+    first = registry.counter("repro_test_total", "test counter")
+    again = registry.counter("repro_test_total", "test counter")
+    assert first is again
+    with pytest.raises(ValueError):
+        registry.gauge("repro_test_total", "now a gauge")
+
+
+def test_registry_rejects_bad_names_and_labels():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("0bad", "leading digit")
+    with pytest.raises(ValueError):
+        registry.counter("repro_ok_total", "bad label",
+                         labelnames=("0bad",))
+
+
+def test_labeled_children_are_cached():
+    registry = MetricsRegistry()
+    family = registry.counter("repro_test_total", "by outcome",
+                              labelnames=("outcome",))
+    a = family.labels(outcome="applied")
+    b = family.labels("applied")
+    assert a is b
+    a.inc(3)
+    family.labels(outcome="rejected").inc()
+    snap = registry.snapshot()["repro_test_total"]
+    values = {tuple(sorted(v["labels"].items())): v["value"]
+              for v in snap["values"]}
+    assert values[(("outcome", "applied"),)] == 3
+    assert values[(("outcome", "rejected"),)] == 1
+
+
+def test_histogram_bucket_boundaries_are_inclusive():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("repro_test_seconds", "test",
+                                   buckets=(1.0, 2.0, 5.0))
+    # Prometheus buckets are cumulative with le (<=) semantics: an
+    # observation exactly on a boundary lands in that boundary's bucket.
+    for value in (0.5, 1.0, 1.5, 2.0, 7.0):
+        histogram.observe(value)
+    cumulative = dict(histogram.cumulative())
+    assert cumulative[1.0] == 2      # 0.5, 1.0
+    assert cumulative[2.0] == 4      # + 1.5, 2.0
+    assert cumulative[5.0] == 4
+    assert cumulative[float("inf")] == 5
+    assert histogram.count == 5
+    assert histogram.sum == pytest.approx(12.0)
+
+
+def test_histogram_requires_increasing_bounds():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.histogram("repro_bad_seconds", "test",
+                           buckets=(1.0, 1.0))
+
+
+def test_default_buckets_cover_latency_range():
+    assert DEFAULT_BUCKETS[0] <= 0.001
+    assert DEFAULT_BUCKETS[-1] >= 10.0
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+def test_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("repro_a_total", "a").inc(2)
+    registry.gauge("repro_b", "b").set(1.5)
+    registry.histogram("repro_c_seconds", "c",
+                       buckets=(1.0,)).observe(0.5)
+    snap = registry.snapshot()
+    assert snap["repro_a_total"]["kind"] == "counter"
+    assert snap["repro_b"]["kind"] == "gauge"
+    assert snap["repro_c_seconds"]["kind"] == "histogram"
+    assert snap["repro_a_total"]["values"][0]["value"] == 2
+
+
+def test_raced_counters_stay_exact():
+    """Concurrent inc() from many threads loses no increments."""
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_raced_total", "raced")
+    gauge = registry.gauge("repro_raced_gauge", "raced")
+    histogram = registry.histogram("repro_raced_seconds", "raced",
+                                   buckets=(0.5,))
+    threads, per_thread = 8, 2500
+    barrier = threading.Barrier(threads)
+
+    def work():
+        barrier.wait()
+        for _ in range(per_thread):
+            counter.inc()
+            gauge.inc()
+            histogram.observe(0.25)
+
+    workers = [threading.Thread(target=work) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    expected = threads * per_thread
+    assert counter.value == expected
+    assert gauge.value == expected
+    assert histogram.count == expected
+    assert dict(histogram.cumulative())[0.5] == expected
+
+
+def test_raced_labeled_children():
+    registry = MetricsRegistry()
+    family = registry.counter("repro_raced_total", "raced",
+                              labelnames=("shard",))
+    threads, per_thread = 6, 2000
+    barrier = threading.Barrier(threads)
+
+    def work(shard):
+        barrier.wait()
+        child = family.labels(shard=str(shard % 2))
+        for _ in range(per_thread):
+            child.inc()
+
+    workers = [threading.Thread(target=work, args=(i,))
+               for i in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    total = sum(v["value"]
+                for v in registry.snapshot()["repro_raced_total"]["values"])
+    assert total == threads * per_thread
+
+
+def test_unregister_and_names():
+    registry = MetricsRegistry()
+    registry.counter("repro_a_total", "a")
+    registry.counter("repro_b_total", "b")
+    assert "repro_a_total" in registry.names()
+    registry.unregister("repro_a_total")
+    assert "repro_a_total" not in registry.names()
+    # re-registering after unregister is fine, even with another kind
+    registry.gauge("repro_a_total", "now a gauge")

@@ -1,0 +1,186 @@
+"""Span tracing: nesting, I/O attribution, and zero observable effect."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.semicore_star import semi_core_star
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+from repro.storage.blockio import IOStats
+from repro.storage.graphstore import GraphStorage
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Never leak a process-wide tracer into other tests."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def test_disabled_span_is_shared_noop():
+    assert not tracing_enabled()
+    a = span("anything", iteration=1)
+    b = span("else")
+    assert a is b  # one shared object; no allocation while disabled
+    with a as live:
+        live.annotate(ignored=True)
+
+
+def test_enable_disable_roundtrip():
+    tracer = enable_tracing()
+    assert tracing_enabled()
+    assert current_tracer() is tracer
+    disable_tracing()
+    assert not tracing_enabled()
+    assert current_tracer() is None
+
+
+def test_span_records_name_time_and_attrs():
+    tracer = enable_tracing()
+    with span("unit.phase", shard=3) as live:
+        live.annotate(changed=7)
+    (record,) = tracer.records
+    assert record["name"] == "unit.phase"
+    assert record["seconds"] >= 0
+    assert record["attrs"] == {"shard": 3, "changed": 7}
+    assert record["parent_id"] is None
+    assert record["depth"] == 0
+
+
+def test_span_nesting_parent_and_depth():
+    tracer = enable_tracing()
+    with span("outer"):
+        with span("inner"):
+            pass
+        with span("inner2"):
+            pass
+    by_name = {r["name"]: r for r in tracer.records}
+    outer = by_name["outer"]
+    assert by_name["inner"]["parent_id"] == outer["span_id"]
+    assert by_name["inner2"]["parent_id"] == outer["span_id"]
+    assert by_name["inner"]["depth"] == 1
+    assert outer["depth"] == 0
+    # children finish (and are recorded) before their parent
+    names = [r["name"] for r in tracer.records]
+    assert names.index("inner") < names.index("outer")
+
+
+def test_span_io_delta_attribution():
+    tracer = enable_tracing()
+    stats = IOStats()
+    stats.read_ios = 5
+    with span("phase", io=stats):
+        stats.read_ios += 3
+        stats.bytes_read += 4096
+    (record,) = tracer.records
+    assert record["read_ios"] == 3  # delta, not absolute
+    assert record["bytes_read"] == 4096
+    assert record["write_ios"] == 0
+
+
+def test_span_records_error_class():
+    tracer = enable_tracing()
+    with pytest.raises(RuntimeError):
+        with span("failing"):
+            raise RuntimeError("boom")
+    (record,) = tracer.records
+    assert record["error"] == "RuntimeError"
+
+
+def test_jsonl_sink_one_line_per_span():
+    sink = io.StringIO()
+    enable_tracing(sink)
+    with span("a", k=1):
+        with span("b"):
+            pass
+    lines = [json.loads(line) for line in
+             sink.getvalue().strip().splitlines()]
+    assert [line["name"] for line in lines] == ["b", "a"]
+    assert lines[1]["attrs"] == {"k": 1}
+
+
+def test_tracer_ring_is_bounded():
+    tracer = enable_tracing(keep=4)
+    for i in range(10):
+        with span("s%d" % i):
+            pass
+    assert len(tracer.records) == 4
+    assert tracer.spans_recorded == 10
+    assert tracer.records[0]["name"] == "s6"
+
+
+def test_tracer_to_path_writes_and_closes(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    enable_tracing(path=str(path))
+    with span("filed", shard=1):
+        pass
+    disable_tracing()
+    (line,) = path.read_text().strip().splitlines()
+    record = json.loads(line)
+    assert record["name"] == "filed"
+    assert record["attrs"] == {"shard": 1}
+
+
+def test_bind_registry_feeds_span_histogram():
+    registry = MetricsRegistry()
+    enable_tracing(registry=registry)
+    with span("measured"):
+        pass
+    with span("measured"):
+        pass
+    family = registry.get("repro_span_seconds")
+    child = family.labels(name="measured")
+    assert child.count == 2
+
+
+def test_tracer_class_usable_without_global_install():
+    tracer = Tracer()
+    with tracer.span("standalone"):
+        pass
+    assert tracer.spans_recorded == 1
+    assert not tracing_enabled()
+
+
+def _run_star(edges, n, tmp_path, tag):
+    prefix = tmp_path / ("g_%s" % tag)
+    storage = GraphStorage.from_edges(edges, n, path=str(prefix))
+    result = semi_core_star(storage)
+    stats = storage.io_stats
+    counts = (stats.read_ios, stats.write_ios,
+              stats.bytes_read, stats.bytes_written)
+    storage.close()
+    return result, counts
+
+
+def test_traced_run_is_bit_identical(tmp_path, rng):
+    """Tracing on vs off: same cores, same I/O counts, spans recorded."""
+    from tests.conftest import make_random_edges
+
+    n = 80
+    edges = make_random_edges(rng, n, 0.08)
+    base, base_io = _run_star(edges, n, tmp_path, "off")
+    tracer = enable_tracing()
+    traced, traced_io = _run_star(edges, n, tmp_path, "on")
+    disable_tracing()
+    assert traced.cores == base.cores
+    assert traced.kmax == base.kmax
+    assert traced.iterations == base.iterations
+    assert traced_io == base_io  # instrumentation added zero block I/O
+    passes = [r for r in tracer.records
+              if r["name"] == "semicore_star.pass"]
+    assert len(passes) == base.iterations
+    assert sum(r["read_ios"] for r in passes) > 0
+    iterations = [r["attrs"]["iteration"] for r in passes]
+    assert iterations == sorted(iterations)
