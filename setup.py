@@ -38,6 +38,9 @@ setup(
     long_description_content_type="text/markdown",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # PEP 561: the package ships inline annotations (the typed subset is
+    # checked by mypy in CI; see setup.cfg [mypy]).
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.9",
     # The reference engine is pure stdlib; numpy powers the vectorized
     # engine and the CSR snapshot layer.

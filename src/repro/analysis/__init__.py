@@ -1,0 +1,91 @@
+"""Static analysis for the repro codebase: `repro lint`.
+
+The package enforces, on every PR, the cross-cutting contracts the
+reproduction's correctness rests on -- the charged-I/O boundary, lock
+discipline and publication ordering, engine parity, exception
+discipline around fault injection, telemetry naming, and algorithm
+determinism.  See ``docs/ARCHITECTURE.md`` §8 for the rule table.
+
+Typical use::
+
+    from repro.analysis import default_config, run_lint
+    result = run_lint(package_root(), default_config())
+    print(render_text(result))
+
+Importing :mod:`repro.analysis` registers the shipped checkers.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.findings import ERROR, Finding, Suppression, WARNING
+from repro.analysis.framework import (
+    Checker,
+    GuardSpec,
+    LintConfig,
+    LintResult,
+    Project,
+    RuleConfig,
+    SourceFile,
+    all_rules,
+    checker_names,
+    get_checker,
+    register_checker,
+    run_lint,
+)
+from repro.analysis import checkers as _checkers  # noqa: F401 - registers
+from repro.analysis.contracts import default_config
+from repro.analysis.output import (
+    RENDERERS,
+    render_github,
+    render_json,
+    render_stats,
+    render_text,
+    stats_figure,
+)
+from repro.analysis.suppressions import (
+    MALFORMED_RULE,
+    SUPPRESSION_RULE,
+    apply_suppressions,
+    collect_suppressions,
+)
+
+
+def package_root():
+    """The installed ``repro`` package directory -- the default lint root."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+__all__ = [
+    "Checker",
+    "ERROR",
+    "Finding",
+    "GuardSpec",
+    "LintConfig",
+    "LintResult",
+    "MALFORMED_RULE",
+    "Project",
+    "RENDERERS",
+    "RuleConfig",
+    "SUPPRESSION_RULE",
+    "SourceFile",
+    "Suppression",
+    "WARNING",
+    "all_rules",
+    "apply_suppressions",
+    "checker_names",
+    "collect_suppressions",
+    "default_config",
+    "get_checker",
+    "package_root",
+    "register_checker",
+    "render_github",
+    "render_json",
+    "render_stats",
+    "render_text",
+    "run_lint",
+    "stats_figure",
+]

@@ -1,0 +1,24 @@
+"""The domain checkers of `repro lint`.
+
+Importing this package registers every shipped checker with the
+framework registry (:mod:`repro.analysis.framework`); the import order
+below is the execution and ``--list-rules`` presentation order.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.io_charging import IOChargingChecker
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.engine_parity import EngineParityChecker
+from repro.analysis.checkers.exceptions import ExceptionDisciplineChecker
+from repro.analysis.checkers.obs_naming import ObsNamingChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+
+__all__ = [
+    "IOChargingChecker",
+    "LockDisciplineChecker",
+    "EngineParityChecker",
+    "ExceptionDisciplineChecker",
+    "ObsNamingChecker",
+    "DeterminismChecker",
+]

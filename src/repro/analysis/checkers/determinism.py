@@ -1,0 +1,153 @@
+"""DET001/DET002: algorithm code is a pure function of its inputs.
+
+The reproduction's cross-engine parity tests assert *bit-identical*
+cores, traces, and iteration counts.  That only holds if nothing in an
+algorithm pass depends on wall-clock time, ambient randomness, or hash
+ordering:
+
+DET001 -- no ``time.time()``/``time_ns()``, ``datetime.now()``-family
+reads, unseeded ``random`` module calls (``random.Random(seed)`` is
+fine, ``random.Random()`` and ``random.shuffle`` are not),
+``os.urandom`` or ``uuid.uuid4`` inside the determinism scope.
+Monotonic timers (``perf_counter``/``monotonic``) stay legal -- they
+only *report* elapsed time, they never steer the computation.
+
+DET002 -- no iteration over a ``set`` (literal, ``set()`` call,
+comprehension, or a local assigned from one) inside the scope unless
+the loop goes through ``sorted(...)``: set order is salted per process,
+so a pass loop driven by it produces run-dependent traces.  Dicts are
+insertion-ordered and deliberately exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Checker, register_checker
+
+#: Wall-clock / entropy calls per module.
+_BANNED_MODULE_CALLS = {
+    "time": ("time", "time_ns", "ctime", "localtime", "gmtime"),
+    "datetime": ("now", "utcnow", "today"),
+    "os": ("urandom",),
+    "uuid": ("uuid1", "uuid4"),
+}
+
+#: ``random.<fn>`` draws from the *shared, unseeded* global generator.
+_RANDOM_GLOBAL_FNS = (
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "gauss", "random_bytes", "getrandbits",
+)
+
+
+def _is_set_expr(node):
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")):
+        return True
+    return False
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    name = "determinism"
+    rules = {
+        "DET001": "no wall-clock or ambient-entropy reads inside "
+                  "algorithm code",
+        "DET002": "no set-iteration-order dependence in algorithm "
+                  "loops (sort first)",
+    }
+
+    def check(self, project, config):
+        for source in project.files:
+            if not project.in_scope(source, config.determinism_scope):
+                continue
+            modules = self._imported_modules(source.tree)
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.Call):
+                    finding = self._check_call(source, config, node,
+                                               modules)
+                    if finding is not None:
+                        yield finding
+                elif isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    yield from self._check_set_loops(source, config,
+                                                     node)
+
+    def _imported_modules(self, tree):
+        """{local alias: module} for plain ``import`` statements."""
+        modules = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    modules[alias.asname or alias.name] = alias.name
+        return modules
+
+    # -- DET001 ---------------------------------------------------------
+
+    def _check_call(self, source, config, node, modules):
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = func.value
+        # datetime.datetime.now() -- unwrap the class attribute.
+        if (isinstance(owner, ast.Attribute)
+                and isinstance(owner.value, ast.Name)
+                and modules.get(owner.value.id) == "datetime"):
+            owner = owner.value
+        if not isinstance(owner, ast.Name):
+            return None
+        module = modules.get(owner.id)
+        if module == "random":
+            if func.attr in _RANDOM_GLOBAL_FNS:
+                return self._emit(
+                    config, "DET001", source, node,
+                    "random.%s() draws from the unseeded global "
+                    "generator; pass an explicit random.Random(seed) "
+                    "instance instead" % func.attr)
+            if func.attr == "Random" and not node.args:
+                return self._emit(
+                    config, "DET001", source, node,
+                    "random.Random() without a seed is entropy-"
+                    "dependent; construct it with an explicit seed")
+            return None
+        banned = _BANNED_MODULE_CALLS.get(module, ())
+        if func.attr in banned:
+            return self._emit(
+                config, "DET001", source, node,
+                "%s.%s() makes algorithm output depend on ambient "
+                "state; results must be a pure function of the "
+                "inputs (monotonic timers for *reporting* elapsed "
+                "time are fine)" % (module, func.attr))
+        return None
+
+    # -- DET002 ---------------------------------------------------------
+
+    def _check_set_loops(self, source, config, funcdef):
+        set_locals = set()
+        for node in funcdef.body:
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Assign):
+                    if _is_set_expr(stmt.value):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                set_locals.add(target.id)
+        for node in ast.walk(funcdef):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            iter_node = node.iter
+            if _is_set_expr(iter_node):
+                yield self._emit(
+                    config, "DET002", source, node,
+                    "loop iterates a set directly; set order is "
+                    "salted per process -- iterate sorted(...) to "
+                    "keep traces reproducible")
+            elif (isinstance(iter_node, ast.Name)
+                    and iter_node.id in set_locals):
+                yield self._emit(
+                    config, "DET002", source, node,
+                    "loop iterates %r, a local bound to a set; set "
+                    "order is salted per process -- iterate "
+                    "sorted(%s) to keep traces reproducible"
+                    % (iter_node.id, iter_node.id))

@@ -1,0 +1,84 @@
+"""EXC001/EXC002: no handler may silently swallow ``StorageError``.
+
+The fault-injection plane (PR 7) works by raising typed
+``StorageError`` subclasses at scheduled I/O operations and asserting
+the service degrades the way the design says it should.  A bare
+``except:`` (EXC001) or a broad ``except Exception/BaseException:``
+that neither re-raises nor uses the bound exception (EXC002) would
+absorb an injected fault and turn a red test green.
+
+A broad handler is legal when it demonstrably propagates or inspects
+the failure: it contains a ``raise``, or it binds the exception
+(``as exc``) and actually references that name.  Cleanup-and-reraise
+(``except BaseException: ...close(); raise``) and collect-and-rethrow
+harnesses both pass; ``except Exception: pass`` does not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Checker, register_checker
+
+_BROAD = ("Exception", "BaseException")
+
+
+@register_checker
+class ExceptionDisciplineChecker(Checker):
+    name = "exception-discipline"
+    rules = {
+        "EXC001": "bare 'except:' swallows StorageError and defeats "
+                  "fault injection",
+        "EXC002": "broad 'except Exception/BaseException:' must "
+                  "re-raise or use the bound exception",
+    }
+
+    def check(self, project, config):
+        for source in project.files:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ExceptHandler):
+                    finding = self._check_handler(source, config, node)
+                    if finding is not None:
+                        yield finding
+
+    def _check_handler(self, source, config, handler):
+        if handler.type is None:
+            return self._emit(
+                config, "EXC001", source, handler,
+                "bare 'except:' catches everything including "
+                "StorageError and KeyboardInterrupt; name the "
+                "exception types this code can actually handle")
+        broad = self._broad_name(handler.type)
+        if broad is None:
+            return None
+        if self._reraises(handler) or self._uses_binding(handler):
+            return None
+        return self._emit(
+            config, "EXC002", source, handler,
+            "'except %s:' neither re-raises nor uses the caught "
+            "exception; an injected StorageError would vanish here -- "
+            "narrow the type, re-raise, or handle the bound exception"
+            % broad)
+
+    def _broad_name(self, type_node):
+        """The broad class name caught by this handler, if any."""
+        candidates = [type_node]
+        if isinstance(type_node, ast.Tuple):
+            candidates = list(type_node.elts)
+        for node in candidates:
+            if isinstance(node, ast.Name) and node.id in _BROAD:
+                return node.id
+        return None
+
+    def _reraises(self, handler):
+        return any(isinstance(node, ast.Raise)
+                   for node in ast.walk(handler))
+
+    def _uses_binding(self, handler):
+        if handler.name is None:
+            return False
+        for node in ast.walk(handler):
+            if (isinstance(node, ast.Name) and node.id == handler.name
+                    and isinstance(node.ctx, ast.Load)):
+                return True
+        return False

@@ -1,0 +1,96 @@
+"""IO001: algorithm code must not bypass the charged-I/O boundary.
+
+The paper's figures are statements about an I/O *model*: block reads
+and writes are only meaningful if every one of them passes through
+``BlockDevice`` / ``GraphStorage`` and lands in ``IOStats``.  A direct
+``open()`` inside ``repro/core/`` would produce numbers that look
+plausible and mean nothing.  This checker bans the raw file APIs --
+builtin ``open``, the ``os``-module file calls, and ``pathlib`` --
+inside the configured scope (``config.io_scope``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Checker, register_checker
+
+#: ``os.`` functions that touch the filesystem.  Non-file os APIs
+#: (``os.cpu_count``, ``os.environ``, ``os.getpid``...) stay legal.
+_OS_FILE_APIS = frozenset({
+    "open", "fdopen", "close", "read", "write", "pread", "pwrite",
+    "lseek", "fsync", "fdatasync", "truncate", "ftruncate",
+    "remove", "unlink", "rename", "replace", "link", "symlink",
+    "mkdir", "makedirs", "rmdir", "removedirs", "listdir", "scandir",
+    "walk", "stat", "lstat", "fstat", "utime", "chmod", "access",
+})
+
+
+@register_checker
+class IOChargingChecker(Checker):
+    name = "io-charging"
+    rules = {
+        "IO001": "modules inside the charged-I/O boundary must route "
+                 "all file access through BlockDevice/GraphStorage",
+    }
+
+    def check(self, project, config):
+        for source in project.files:
+            if not project.in_scope(source, config.io_scope):
+                continue
+            yield from self._check_file(source, config)
+
+    def _check_file(self, source, config):
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, config, node)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "pathlib":
+                        yield self._emit(
+                            config, "IO001", source, node,
+                            "import of pathlib inside the charged-I/O "
+                            "boundary; file access must go through the "
+                            "storage layer so IOStats stays truthful")
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "pathlib":
+                    yield self._emit(
+                        config, "IO001", source, node,
+                        "import from pathlib inside the charged-I/O "
+                        "boundary; file access must go through the "
+                        "storage layer so IOStats stays truthful")
+
+    def _check_call(self, source, config, node):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            yield self._emit(
+                config, "IO001", source, node,
+                "direct open() inside the charged-I/O boundary; this "
+                "read/write would never be charged to IOStats -- route "
+                "it through BlockDevice/GraphStorage")
+        elif isinstance(func, ast.Attribute):
+            owner = func.value
+            if (isinstance(owner, ast.Name) and owner.id == "io"
+                    and func.attr == "open"):
+                yield self._emit(
+                    config, "IO001", source, node,
+                    "io.open() inside the charged-I/O boundary; route "
+                    "file access through the storage layer")
+            elif (isinstance(owner, ast.Name) and owner.id == "os"
+                    and func.attr in _OS_FILE_APIS):
+                yield self._emit(
+                    config, "IO001", source, node,
+                    "os.%s() inside the charged-I/O boundary; "
+                    "uncharged file access defeats the I/O model -- "
+                    "route it through the storage layer" % func.attr)
+            elif (isinstance(owner, ast.Attribute)
+                    and isinstance(owner.value, ast.Name)
+                    and owner.value.id == "os" and owner.attr == "path"
+                    and func.attr in ("exists", "getsize", "isfile",
+                                      "isdir")):
+                yield self._emit(
+                    config, "IO001", source, node,
+                    "os.path.%s() inside the charged-I/O boundary; "
+                    "existence/size probes belong to the storage "
+                    "layer" % func.attr)

@@ -1,0 +1,101 @@
+"""OBS001-OBS003: telemetry names come from the declared inventory.
+
+Dashboards and the CI exposition parser key on exact metric and span
+names; a typo'd or ad-hoc name silently produces an orphan series.  So:
+every literal name passed to ``counter()``/``gauge()``/``histogram()``
+must be ``repro_``-prefixed and present in ``config.metric_names``
+(OBS001); histogram names additionally carry an explicit unit suffix
+(OBS002, ``_seconds``/``_bytes``); literal ``span("...")`` names come
+from ``config.span_names`` (OBS003).
+
+Dynamic names built from a template (``"repro_cache_%s" % field``) are
+checked by their literal template text -- the template itself is the
+inventory entry.  Calls whose first argument is not a literal (or a
+literal template) are out of static reach and skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Checker, register_checker
+
+_METRIC_FACTORIES = ("counter", "gauge", "histogram")
+_UNIT_SUFFIXES = ("_seconds", "_bytes")
+
+
+def _callee_name(func):
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _literal_name(node):
+    """The literal (or literal-template) string of an argument node."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod)
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.left.value, str)):
+        return node.left.value
+    return None
+
+
+@register_checker
+class ObsNamingChecker(Checker):
+    name = "obs-naming"
+    rules = {
+        "OBS001": "metric names are repro_-prefixed and drawn from the "
+                  "declared inventory",
+        "OBS002": "histogram names carry an explicit unit suffix "
+                  "(_seconds/_bytes)",
+        "OBS003": "span names are drawn from the declared inventory",
+    }
+
+    def check(self, project, config):
+        for source in project.files:
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                callee = _callee_name(node.func)
+                if callee in _METRIC_FACTORIES:
+                    yield from self._check_metric(
+                        source, config, node, callee)
+                elif callee == "span":
+                    yield from self._check_span(source, config, node)
+
+    def _check_metric(self, source, config, node, callee):
+        name = _literal_name(node.args[0])
+        if name is None:
+            return
+        if not name.startswith("repro_"):
+            yield self._emit(
+                config, "OBS001", source, node,
+                "metric name %r must carry the repro_ namespace "
+                "prefix" % name)
+        elif config.metric_names and name not in config.metric_names:
+            yield self._emit(
+                config, "OBS001", source, node,
+                "metric name %r is not in the declared inventory; add "
+                "it to METRIC_NAMES (repro/analysis/contracts.py) in "
+                "the same PR that introduces it" % name)
+        if (callee == "histogram"
+                and not name.endswith(_UNIT_SUFFIXES)):
+            yield self._emit(
+                config, "OBS002", source, node,
+                "histogram %r needs an explicit unit suffix (%s) so "
+                "dashboards can label axes"
+                % (name, "/".join(_UNIT_SUFFIXES)))
+
+    def _check_span(self, source, config, node):
+        name = _literal_name(node.args[0])
+        if name is None or not config.span_names:
+            return
+        if name not in config.span_names:
+            yield self._emit(
+                config, "OBS003", source, node,
+                "span name %r is not in the declared inventory; add "
+                "it to SPAN_NAMES (repro/analysis/contracts.py) in "
+                "the same PR that introduces it" % name)

@@ -1,0 +1,78 @@
+"""The finding model shared by every checker.
+
+A :class:`Finding` is one precise, machine-readable violation: file,
+line, column, rule id, severity and a message that states the broken
+*contract*, not just the syntax that tripped it.  Findings sort by
+location so output is stable across checker execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Severity levels, in increasing order of badness.  ``error`` findings
+#: gate CI; ``warning`` findings are reported but carry no exit-code
+#: weight on their own (the shipped configuration makes every rule an
+#: error -- the distinction exists so deployments can soften a rule
+#: without disabling it).
+WARNING = "warning"
+ERROR = "error"
+SEVERITIES = (WARNING, ERROR)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str          #: file path, relative to the scanned root
+    line: int          #: 1-based line of the offending node
+    col: int           #: 0-based column of the offending node
+    rule_id: str       #: e.g. ``"IO001"``
+    severity: str      #: ``"error"`` or ``"warning"``
+    message: str       #: the broken contract, in one sentence
+    checker: str = ""  #: registered name of the producing checker
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                "severity must be one of %r, got %r"
+                % (SEVERITIES, self.severity))
+
+    @property
+    def location(self):
+        """``path:line:col`` -- the clickable anchor of the finding."""
+        return "%s:%d:%d" % (self.path, self.line, self.col)
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def as_dict(self):
+        """JSON-friendly dict (the ``--format=json`` record shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "checker": self.checker,
+        }
+
+    def render(self):
+        """The one-line text rendering: ``path:line:col: RULE message``."""
+        return "%s: %s [%s] %s" % (self.location, self.severity,
+                                   self.rule_id, self.message)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: noqa[RULE,...]`` comment occurrence."""
+
+    path: str
+    line: int
+    rules: tuple = field(default_factory=tuple)  #: rule ids it names
+
+    def covers(self, finding):
+        """True when this comment silences ``finding``."""
+        return (finding.path == self.path and finding.line == self.line
+                and finding.rule_id in self.rules)

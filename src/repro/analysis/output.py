@@ -1,0 +1,109 @@
+"""Renderers for lint results: text, JSON, GitHub annotations, stats.
+
+Each renderer is a pure function from a :class:`~repro.analysis.
+framework.LintResult` to a string, so the CLI can print one format and
+save another from the same run.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def render_text(result):
+    """Human output: one finding per line plus a summary tail."""
+    lines = [finding.render() for finding in result.findings]
+    stats = result.stats
+    summary = ("%d finding(s) (%d error, %d warning) in %d file(s); "
+               "%d suppressed, %d unused suppression(s)"
+               % (stats["findings"], stats["errors"], stats["warnings"],
+                  stats["files_scanned"], stats["suppressed_findings"],
+                  stats["unused_suppressions"]))
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result):
+    """Machine output: findings + stats as one stable JSON document."""
+    payload = {
+        "findings": [finding.as_dict() for finding in result.findings],
+        "suppressed": [finding.as_dict() for finding in result.suppressed],
+        "stats": dict(result.stats),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _github_escape(text):
+    """Escape message data per the workflow-command grammar."""
+    return (text.replace("%", "%25")
+                .replace("\r", "%0D")
+                .replace("\n", "%0A"))
+
+
+def render_github(result):
+    """GitHub Actions workflow commands: inline PR annotations.
+
+    ``::error file=...,line=...,col=...::message`` -- one command per
+    finding, so a gated lint job paints violations straight onto the
+    diff view.
+    """
+    lines = []
+    for finding in result.findings:
+        level = "error" if finding.severity == "error" else "warning"
+        lines.append(
+            "::%s file=%s,line=%d,col=%d,title=%s::%s"
+            % (level, finding.path, finding.line, finding.col,
+               finding.rule_id, _github_escape(finding.message)))
+    if not lines:
+        lines.append("::notice::repro lint: no findings")
+    return "\n".join(lines)
+
+
+def render_stats(result):
+    """The ``--stats`` summary table (also the row exported to bench)."""
+    stats = result.stats
+    rows = (
+        ("rules run", stats["rules_run"]),
+        ("checkers run", stats["checkers_run"]),
+        ("files scanned", stats["files_scanned"]),
+        ("findings", stats["findings"]),
+        ("  errors", stats["errors"]),
+        ("  warnings", stats["warnings"]),
+        ("suppressions", stats["suppressions"]),
+        ("suppressed findings", stats["suppressed_findings"]),
+        ("unused suppressions", stats["unused_suppressions"]),
+    )
+    width = max(len(label) for label, _ in rows)
+    return "\n".join("%-*s  %d" % (width, label, value)
+                     for label, value in rows)
+
+
+def stats_figure(result):
+    """The lint run as a figure record for ``collect_results.py``.
+
+    Mirrors the shape the bench figures use: raw metrics carry a ``_``
+    prefix inside each row so the collector lifts them into the
+    flattened ``BENCH_RESULTS.json`` records.
+    """
+    stats = result.stats
+    return {
+        "figure": "lint",
+        "scale": "repo",
+        "rows": [{
+            "suite": "repro-lint",
+            "_rules_run": stats["rules_run"],
+            "_files_scanned": stats["files_scanned"],
+            "_findings": stats["findings"],
+            "_errors": stats["errors"],
+            "_warnings": stats["warnings"],
+            "_suppressions": stats["suppressions"],
+            "_unused_suppressions": stats["unused_suppressions"],
+        }],
+    }
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}

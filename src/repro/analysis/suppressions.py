@@ -1,0 +1,101 @@
+"""Inline suppressions: ``# repro: noqa[RULE]`` and their bookkeeping.
+
+A suppression silences findings of the named rules *on its own line
+only* -- blanket (ruleless) suppressions are deliberately not supported,
+so every silenced contract is named and grep-able.  A suppression that
+silences nothing is itself a finding (rule ``SUP001``): stale
+suppressions would otherwise accumulate and quietly widen over
+refactors, which is exactly the drift this suite exists to stop.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from io import StringIO
+
+from repro.analysis.findings import ERROR, Finding, Suppression
+
+#: Matches ``repro: noqa[IO001]`` / ``repro: noqa[IO001, EXC002]``
+#: comment markers (the leading hash is matched here, not written out,
+#: so this file does not suppress anything itself).
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)\]")
+
+#: A malformed marker (bare ``noqa``, missing bracket, empty rule list)
+#: -- matched so it can be *rejected* instead of silently ignored.
+_NOQA_LIKE_RE = re.compile(r"#\s*repro:\s*noqa\b")
+
+SUPPRESSION_RULE = "SUP001"
+MALFORMED_RULE = "SUP002"
+
+
+def collect_suppressions(source):
+    """Parse one file's suppressions; returns ``(suppressions, findings)``.
+
+    ``findings`` reports malformed markers (``SUP002``): a comment that
+    clearly tries to be a repro-noqa but does not name rules in the
+    required ``[RULE,...]`` form must fail loudly, or a typo would
+    silently suppress nothing while the author believes it did.
+
+    Comments are found with :mod:`tokenize` so a ``# repro: noqa[...]``
+    inside a string literal is never treated as a suppression.
+    """
+    suppressions = []
+    findings = []
+    try:
+        tokens = list(tokenize.generate_tokens(
+            StringIO(source.text).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return [], []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(token.string)
+        if match:
+            rules = tuple(part.strip()
+                          for part in match.group("rules").split(","))
+            suppressions.append(Suppression(
+                path=source.relpath, line=token.start[0], rules=rules))
+        elif _NOQA_LIKE_RE.search(token.string):
+            findings.append(Finding(
+                path=source.relpath, line=token.start[0],
+                col=token.start[1], rule_id=MALFORMED_RULE,
+                severity=ERROR, checker="suppressions",
+                message="malformed suppression %r: use "
+                        "'# repro: noqa[RULE]' with explicit rule ids"
+                        % token.string.strip()))
+    return suppressions, findings
+
+
+def apply_suppressions(findings, suppressions):
+    """Split findings into (kept, suppressed) and flag unused markers.
+
+    Returns ``(kept, suppressed, unused_findings)`` where
+    ``unused_findings`` holds one ``SUP001`` finding per suppression (or
+    per named rule of one) that silenced nothing.
+    """
+    kept = []
+    suppressed = []
+    used = {}  # (path, line) -> set of rule ids that fired
+    for finding in findings:
+        covering = [s for s in suppressions if s.covers(finding)]
+        if covering:
+            suppressed.append(finding)
+            used.setdefault((finding.path, finding.line),
+                            set()).add(finding.rule_id)
+        else:
+            kept.append(finding)
+    unused = []
+    for suppression in suppressions:
+        fired = used.get((suppression.path, suppression.line), set())
+        stale = sorted(set(suppression.rules) - fired)
+        if stale:
+            unused.append(Finding(
+                path=suppression.path, line=suppression.line, col=0,
+                rule_id=SUPPRESSION_RULE, severity=ERROR,
+                checker="suppressions",
+                message="unused suppression of %s: no such finding on "
+                        "this line (drop the noqa or fix the rule id)"
+                        % ", ".join(stale)))
+    return kept, suppressed, unused

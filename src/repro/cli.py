@@ -364,6 +364,46 @@ def _cmd_verify(args):
     return 0
 
 
+def _cmd_lint(args):
+    import json as _json
+
+    from repro.analysis import (
+        RENDERERS,
+        all_rules,
+        default_config,
+        package_root,
+        render_stats,
+        run_lint,
+        stats_figure,
+    )
+    from repro.analysis.framework import RuleConfig
+
+    if args.list_rules:
+        for rule_id, description, checker in all_rules():
+            print("%-8s %-20s %s" % (rule_id, checker, description))
+        return 0
+    config = default_config()
+    for rule_id in args.ignore or ():
+        config.rules[rule_id] = RuleConfig(enabled=False)
+    result = run_lint(args.root or package_root(), config)
+    print(RENDERERS[args.format](result))
+    if args.stats:
+        print()
+        print(render_stats(result))
+    if args.json_out:
+        from repro.analysis import render_json
+
+        with open(args.json_out, "w", encoding="ascii") as handle:
+            handle.write(render_json(result))
+            handle.write("\n")
+    if args.save_stats:
+        with open(args.save_stats, "w", encoding="ascii") as handle:
+            _json.dump(stats_figure(result), handle, indent=2,
+                       sort_keys=True)
+            handle.write("\n")
+    return result.exit_code
+
+
 def _cmd_report(args):
     import glob
     import os
@@ -612,6 +652,32 @@ def build_parser():
     p.add_argument("--cores",
                    help="also validate a core file written by decompose")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("lint",
+                       help="statically check the codebase's enforced "
+                            "invariants (I/O charging, lock discipline, "
+                            "engine parity, ...)")
+    p.add_argument("--root", default=None,
+                   help="package directory to scan (default: the "
+                        "installed repro package)")
+    p.add_argument("--format", choices=("text", "json", "github"),
+                   default="text",
+                   help="finding output format (github emits workflow-"
+                        "command annotations for inline PR comments)")
+    p.add_argument("--ignore", metavar="RULE", action="append",
+                   help="disable a rule id for this run (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule table and exit")
+    p.add_argument("--stats", action="store_true",
+                   help="append a summary (rules run, files scanned, "
+                        "findings, suppressions)")
+    p.add_argument("--json-out", metavar="PATH",
+                   help="also write the JSON findings document to PATH "
+                        "(CI artifact)")
+    p.add_argument("--save-stats", metavar="PATH",
+                   help="write the run summary as a figure record PATH "
+                        "for benchmarks/collect_results.py")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("report", help="print saved benchmark results")
     p.add_argument("--results", default="benchmarks/results",

@@ -33,7 +33,12 @@ The contract an engine implementation must honour is documented in
 
 from __future__ import annotations
 
+from typing import Any, Callable, Iterable, Mapping
+
 from repro.errors import ReproError
+
+#: An engine kernel: algorithm entry point of one implementation.
+Kernel = Callable[..., Any]
 
 DEFAULT_ENGINE = "python"
 
@@ -56,14 +61,16 @@ ENGINE_AWARE_MAINTENANCE = ("insert", "insert*", "delete*")
 class EngineSpec:
     """A named engine: metadata plus a lazy implementation loader."""
 
-    def __init__(self, name, description, loader, requires=()):
+    def __init__(self, name: str, description: str,
+                 loader: Callable[[], Mapping[str, Kernel]],
+                 requires: Iterable[str] = ()) -> None:
         self.name = name
         self.description = description
         self.requires = tuple(requires)
         self._loader = loader
-        self._impls = None
+        self._impls: dict[str, Kernel] | None = None
 
-    def available(self):
+    def available(self) -> bool:
         """True when every soft dependency of the engine imports."""
         for module in self.requires:
             try:
@@ -72,7 +79,7 @@ class EngineSpec:
                 return False
         return True
 
-    def implementations(self):
+    def implementations(self) -> dict[str, Kernel]:
         """Load (once) and return ``{algorithm: callable}``."""
         if self._impls is None:
             try:
@@ -85,14 +92,16 @@ class EngineSpec:
                 ) from exc
         return self._impls
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "EngineSpec(%r, available=%s)" % (self.name, self.available())
 
 
-_REGISTRY = {}
+_REGISTRY: dict[str, "EngineSpec"] = {}
 
 
-def register_engine(name, description, loader, requires=()):
+def register_engine(name: str, description: str,
+                    loader: Callable[[], Mapping[str, Kernel]],
+                    requires: Iterable[str] = ()) -> EngineSpec:
     """Register (or replace) an engine under ``name``.
 
     ``loader`` is a zero-argument callable returning the implementation
@@ -104,17 +113,17 @@ def register_engine(name, description, loader, requires=()):
     return spec
 
 
-def engine_names():
+def engine_names() -> list[str]:
     """All registered engine names (available or not), sorted."""
     return sorted(_REGISTRY)
 
 
-def available_engines():
+def available_engines() -> list[str]:
     """Names of engines whose dependencies import, sorted."""
     return [name for name in engine_names() if _REGISTRY[name].available()]
 
 
-def get_engine(name):
+def get_engine(name: str | None) -> EngineSpec:
     """Look up an :class:`EngineSpec`; raises on unknown names."""
     try:
         return _REGISTRY[(name or DEFAULT_ENGINE).lower()]
@@ -125,7 +134,8 @@ def get_engine(name):
         ) from None
 
 
-def engine_implementation(engine, algorithm):
+def engine_implementation(engine: str | None,
+                          algorithm: str) -> Kernel:
     """Resolve one algorithm kernel of one engine.
 
     Raises :class:`ReproError` for unknown engines, engines with missing
@@ -142,7 +152,7 @@ def engine_implementation(engine, algorithm):
         ) from None
 
 
-def _load_python():
+def _load_python() -> dict[str, Kernel]:
     from repro.core.distributed import distributed_core
     from repro.core.emcore import em_core
     from repro.core.imcore import im_core
@@ -168,7 +178,7 @@ def _load_python():
     }
 
 
-def _load_numpy():
+def _load_numpy() -> dict[str, Kernel]:
     from repro.core.engines import (
         numpy_emcore,
         numpy_engine,

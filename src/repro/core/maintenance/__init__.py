@@ -1,9 +1,6 @@
 """Incremental core maintenance under the semi-external model."""
 
-from repro.core.maintenance.checkpoint import (
-    load_checkpoint,
-    save_checkpoint,
-)
+from repro.storage.state import load_checkpoint, save_checkpoint
 from repro.core.maintenance.delete_star import semi_delete_star
 from repro.core.maintenance.inmemory import im_delete, im_insert
 from repro.core.maintenance.insert import semi_insert

@@ -44,13 +44,17 @@ def im_insert(graph, core, u, v):
     # Eviction fixpoint over the candidate set.
     evicted = set()
     support = {}
-    for w in candidates:
+    # Iterate a sorted snapshot: the eviction fixpoint is unique, but a
+    # salted set order would make the support/queue build order (and so
+    # the trace) vary run to run.
+    ordered = sorted(candidates)
+    for w in ordered:
         s = 0
         for x in graph.neighbors(w):
             if core[x] > cold or x in candidates:
                 s += 1
         support[w] = s
-    queue = [w for w in candidates if support[w] <= cold]
+    queue = [w for w in ordered if support[w] <= cold]
     while queue:
         w = queue.pop()
         if w in evicted:

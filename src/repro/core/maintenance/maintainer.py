@@ -169,7 +169,7 @@ class CoreMaintainer:
         Restarting a maintenance service then costs a file read instead
         of a full SemiCore* seeding run; see :meth:`resume`.
         """
-        from repro.core.maintenance.checkpoint import save_checkpoint
+        from repro.storage.state import save_checkpoint
 
         save_checkpoint(path, self.graph, self._core, self._cnt)
 
@@ -181,7 +181,7 @@ class CoreMaintainer:
         match; otherwise :class:`~repro.errors.CorruptStorageError` is
         raised and the caller should reseed with :meth:`from_graph`.
         """
-        from repro.core.maintenance.checkpoint import load_checkpoint
+        from repro.storage.state import load_checkpoint
 
         cores, cnt = load_checkpoint(path, graph)
         return cls(graph, cores, cnt)

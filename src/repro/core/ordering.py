@@ -101,11 +101,12 @@ def densest_core(graph, cores=None):
     kmax = max(cores) if len(cores) else 0
     best = (0, list(range(graph.num_nodes)), 0.0)
     for k in range(1, kmax + 1):
-        members = set(k_core_nodes(cores, k))
+        member_list = k_core_nodes(cores, k)
+        members = set(member_list)
         if not members:
             continue
         internal = 0
-        for v in members:
+        for v in member_list:
             for u in graph.neighbors(v):
                 if u > v and u in members:
                     internal += 1

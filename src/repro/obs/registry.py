@@ -30,6 +30,10 @@ from __future__ import annotations
 import math
 import re
 import threading
+from typing import Any, Callable, Iterable, Sequence
+
+#: Pull-mode callback attached via ``set_function``.
+PullFn = Callable[[], float]
 
 __all__ = [
     "Counter",
@@ -53,7 +57,7 @@ DEFAULT_BUCKETS = (
 )
 
 
-def _format_value(value):
+def _format_value(value: Any) -> str:
     """Render a sample value the way Prometheus text format expects."""
     if isinstance(value, bool):
         return "1" if value else "0"
@@ -69,12 +73,12 @@ def _format_value(value):
     return repr(value)
 
 
-def _escape_label_value(value):
+def _escape_label_value(value: Any) -> str:
     return (str(value).replace("\\", r"\\").replace("\n", r"\n")
             .replace('"', r'\"'))
 
 
-def _escape_help(text):
+def _escape_help(text: Any) -> str:
     return str(text).replace("\\", r"\\").replace("\n", r"\n")
 
 
@@ -85,12 +89,12 @@ class Counter:
 
     __slots__ = ("_lock", "_value", "_fn")
 
-    def __init__(self, lock):
+    def __init__(self, lock: Any) -> None:
         self._lock = lock
-        self._value = 0
-        self._fn = None
+        self._value: float = 0
+        self._fn: PullFn | None = None
 
-    def inc(self, amount=1):
+    def inc(self, amount: float = 1) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
             raise ValueError(
@@ -98,13 +102,13 @@ class Counter:
         with self._lock:
             self._value += amount
 
-    def set_function(self, fn):
+    def set_function(self, fn: PullFn) -> "Counter":
         """Make this a pull-mode counter reading ``fn()`` at collection."""
         self._fn = fn
         return self
 
     @property
-    def value(self):
+    def value(self) -> float:
         """Current value (calls the pull function when attached)."""
         if self._fn is not None:
             return self._fn()
@@ -119,33 +123,33 @@ class Gauge:
 
     __slots__ = ("_lock", "_value", "_fn")
 
-    def __init__(self, lock):
+    def __init__(self, lock: Any) -> None:
         self._lock = lock
-        self._value = 0
-        self._fn = None
+        self._value: float = 0
+        self._fn: PullFn | None = None
 
-    def set(self, value):
+    def set(self, value: float) -> None:
         """Set the gauge to ``value``."""
         with self._lock:
             self._value = value
 
-    def inc(self, amount=1):
+    def inc(self, amount: float = 1) -> None:
         """Add ``amount`` to the gauge."""
         with self._lock:
             self._value += amount
 
-    def dec(self, amount=1):
+    def dec(self, amount: float = 1) -> None:
         """Subtract ``amount`` from the gauge."""
         with self._lock:
             self._value -= amount
 
-    def set_function(self, fn):
+    def set_function(self, fn: PullFn) -> "Gauge":
         """Make this a pull-mode gauge reading ``fn()`` at collection."""
         self._fn = fn
         return self
 
     @property
-    def value(self):
+    def value(self) -> float:
         """Current value (calls the pull function when attached)."""
         if self._fn is not None:
             return self._fn()
@@ -165,7 +169,8 @@ class Histogram:
 
     __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
 
-    def __init__(self, lock, buckets=DEFAULT_BUCKETS):
+    def __init__(self, lock: Any,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
@@ -182,7 +187,7 @@ class Histogram:
         self._sum = 0.0
         self._count = 0
 
-    def observe(self, value):
+    def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
         with self._lock:
@@ -196,18 +201,18 @@ class Histogram:
             self._count += 1
 
     @property
-    def count(self):
+    def count(self) -> int:
         """Total number of observations."""
         with self._lock:
             return self._count
 
     @property
-    def sum(self):
+    def sum(self) -> float:
         """Sum of all observed values."""
         with self._lock:
             return self._sum
 
-    def cumulative(self):
+    def cumulative(self) -> list[tuple[float, int]]:
         """``[(upper_bound, cumulative_count), ...]`` ending at +Inf."""
         with self._lock:
             counts = list(self._counts)
@@ -229,18 +234,20 @@ class MetricFamily:
     returns) the child for that label combination.
     """
 
-    def __init__(self, registry, name, help, kind, labelnames, factory):
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help: str, kind: str, labelnames: Iterable[str],
+                 factory: Callable[[], Any]) -> None:
         self.name = name
         self.help = help
         self.kind = kind
         self.labelnames = tuple(labelnames)
         self._registry = registry
         self._factory = factory
-        self._children = {}
+        self._children: dict[tuple[str, ...], Any] = {}
         if not self.labelnames:
             self._children[()] = factory()
 
-    def labels(self, *values, **kwargs):
+    def labels(self, *values: Any, **kwargs: Any) -> Any:
         """The child metric for one label-value combination."""
         if values and kwargs:
             raise ValueError("pass label values either positionally or "
@@ -270,47 +277,47 @@ class MetricFamily:
                 child = self._children[values] = self._factory()
             return child
 
-    def children(self):
+    def children(self) -> list[tuple[tuple[str, ...], Any]]:
         """``[(labelvalues, metric), ...]`` sorted by label values."""
         with self._registry._lock:
             return sorted(self._children.items())
 
     # -- unlabeled convenience delegation -------------------------------
-    def _sole(self):
+    def _sole(self) -> Any:
         if self.labelnames:
             raise ValueError(
                 "metric %s is labeled by (%s); call .labels(...) first"
                 % (self.name, ", ".join(self.labelnames)))
         return self._children[()]
 
-    def inc(self, amount=1):
+    def inc(self, amount: float = 1) -> None:
         return self._sole().inc(amount)
 
-    def dec(self, amount=1):
+    def dec(self, amount: float = 1) -> None:
         return self._sole().dec(amount)
 
-    def set(self, value):
+    def set(self, value: float) -> None:
         return self._sole().set(value)
 
-    def observe(self, value):
+    def observe(self, value: float) -> None:
         return self._sole().observe(value)
 
-    def set_function(self, fn):
+    def set_function(self, fn: PullFn) -> Any:
         return self._sole().set_function(fn)
 
     @property
-    def value(self):
+    def value(self) -> float:
         return self._sole().value
 
     @property
-    def count(self):
+    def count(self) -> int:
         return self._sole().count
 
     @property
-    def sum(self):
+    def sum(self) -> float:
         return self._sole().sum
 
-    def cumulative(self):
+    def cumulative(self) -> list[tuple[float, int]]:
         return self._sole().cumulative()
 
 
@@ -323,13 +330,15 @@ class MetricsRegistry:
     without coordination.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.RLock()
-        self._families = {}
-        self._order = []
+        self._families: dict[str, MetricFamily] = {}
+        self._order: list[str] = []
 
     # -- registration ---------------------------------------------------
-    def _register(self, name, help, kind, labelnames, factory):
+    def _register(self, name: str, help: str, kind: str,
+                  labelnames: Iterable[str],
+                  factory: Callable[[], Any]) -> MetricFamily:
         if not _NAME_RE.match(name):
             raise ValueError("invalid metric name %r" % (name,))
         labelnames = tuple(labelnames)
@@ -352,41 +361,45 @@ class MetricsRegistry:
             self._order.append(name)
             return family
 
-    def counter(self, name, help="", labelnames=()):
+    def counter(self, name: str, help: str = "",
+                labelnames: Iterable[str] = ()) -> MetricFamily:
         """Register (or fetch) a counter family."""
         return self._register(name, help, "counter", labelnames,
                               lambda: Counter(self._lock))
 
-    def gauge(self, name, help="", labelnames=()):
+    def gauge(self, name: str, help: str = "",
+              labelnames: Iterable[str] = ()) -> MetricFamily:
         """Register (or fetch) a gauge family."""
         return self._register(name, help, "gauge", labelnames,
                               lambda: Gauge(self._lock))
 
-    def histogram(self, name, help="", labelnames=(),
-                  buckets=DEFAULT_BUCKETS):
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Iterable[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  ) -> MetricFamily:
         """Register (or fetch) a histogram family."""
         return self._register(name, help, "histogram", labelnames,
                               lambda: Histogram(self._lock, buckets))
 
-    def unregister(self, name):
+    def unregister(self, name: str) -> None:
         """Remove a family (test/re-wiring helper); missing names ok."""
         with self._lock:
             if name in self._families:
                 del self._families[name]
                 self._order.remove(name)
 
-    def names(self):
+    def names(self) -> list[str]:
         """Registered family names, in registration order."""
         with self._lock:
             return list(self._order)
 
-    def get(self, name):
+    def get(self, name: str) -> MetricFamily | None:
         """The family registered under ``name`` (None when absent)."""
         with self._lock:
             return self._families.get(name)
 
     # -- collection -----------------------------------------------------
-    def snapshot(self):
+    def snapshot(self) -> dict[str, Any]:
         """Point-in-time plain-dict view of every metric.
 
         ``{name: {"kind": ..., "help": ..., "values": [
@@ -417,7 +430,7 @@ class MetricsRegistry:
                          "values": values}
         return out
 
-    def render_prometheus(self):
+    def render_prometheus(self) -> str:
         """The registry as Prometheus text exposition format 0.0.4."""
         lines = []
         for name in self.names():
@@ -450,7 +463,7 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n" if lines else ""
 
 
-def _render_labels(pairs):
+def _render_labels(pairs: Sequence[tuple[str, Any]]) -> str:
     if not pairs:
         return ""
     return "{%s}" % ",".join(
@@ -463,12 +476,12 @@ def _render_labels(pairs):
 _global_registry = MetricsRegistry()
 
 
-def get_global_registry():
+def get_global_registry() -> MetricsRegistry:
     """The process-wide default registry."""
     return _global_registry
 
 
-def set_global_registry(registry):
+def set_global_registry(registry: MetricsRegistry) -> MetricsRegistry:
     """Swap the process-wide default registry; returns the previous one."""
     global _global_registry
     previous = _global_registry

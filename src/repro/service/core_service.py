@@ -24,7 +24,7 @@ absorbing an edge-update stream.  The three moving parts:
   in-flight reader releases it.
 * **durability** -- every ``checkpoint_interval`` batches the service
   checkpoints the ``core``/``cnt`` arrays
-  (:mod:`repro.core.maintenance.checkpoint`) *plus* the net edge delta
+  (:mod:`repro.storage.state`) *plus* the net edge delta
   of the graph against its seed tables, rotates the segmented journal
   (:mod:`repro.service.journal`) and writes a manifest recording the
   event watermark the pair is valid at; sealed journal segments fully
@@ -54,7 +54,7 @@ from array import array
 
 from repro.bench.harness import run_decomposition
 from repro.core.kcore import core_histogram, k_core_nodes
-from repro.core.maintenance.checkpoint import load_checkpoint, save_checkpoint
+from repro.storage.state import load_checkpoint, save_checkpoint
 from repro.core.maintenance.maintainer import CoreMaintainer
 from repro.errors import (
     BatchQuarantinedError,

@@ -40,7 +40,7 @@ import os
 import shutil
 import zlib
 
-from repro.core.maintenance.checkpoint import load_checkpoint
+from repro.storage.state import load_checkpoint
 from repro.errors import CorruptStorageError
 from repro.service.core_service import (
     CHECKPOINT_NAME,

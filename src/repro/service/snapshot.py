@@ -42,13 +42,14 @@ already pinned to it; ``DROPPED`` frees the buffers.
 from __future__ import annotations
 
 import threading
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.kcore import degeneracy
 
 try:  # soft dependency, exactly like repro.storage.csr
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised only without numpy
-    _np = None
+    _np = None  # type: ignore[assignment]
 
 
 class EpochSnapshot:
@@ -65,7 +66,12 @@ class EpochSnapshot:
                  "_refs", "_retired", "_dropped", "_lock", "_csr",
                  "_cores_np", "on_drop")
 
-    def __init__(self, epoch, cores, rows, stats):
+    #: Fires once, when a retired snapshot's last reader releases it.
+    on_drop: Callable[["EpochSnapshot"], None] | None
+
+    def __init__(self, epoch: int, cores: Sequence[int],
+                 rows: list[Sequence[int]],
+                 stats: dict[str, Any]) -> None:
         self.epoch = epoch
         self.cores = cores
         self.num_nodes = len(cores)
@@ -75,20 +81,21 @@ class EpochSnapshot:
         stats["kmax"] = self.kmax
         stats["num_nodes"] = self.num_nodes
         self.stats = stats
-        self._rows = rows
+        self._rows: Any = rows
         self._refs = 0
         self._retired = False
         self._dropped = False
         self._lock = threading.Lock()
-        self._csr = None
-        self._cores_np = None
+        self._csr: Any = None
+        self._cores_np: Any = None
         self.on_drop = None
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, graph, cores, *, epoch, events_applied):
+    def build(cls, graph: Any, cores: Sequence[int], *, epoch: int,
+              events_applied: int) -> "EpochSnapshot":
         """Materialize a full snapshot of ``graph`` + ``cores``.
 
         One sequential adjacency scan, charged through whatever I/O
@@ -102,7 +109,9 @@ class EpochSnapshot:
         return cls(epoch, array("i", cores), rows,
                    cls._graph_stats(graph, events_applied))
 
-    def advance(self, graph, cores, *, epoch, events_applied, touched):
+    def advance(self, graph: Any, cores: Sequence[int], *, epoch: int,
+                events_applied: int,
+                touched: Iterable[int]) -> "EpochSnapshot":
         """The next epoch's snapshot, sharing every untouched row.
 
         ``touched`` are the nodes whose adjacency the batch changed (its
@@ -119,7 +128,7 @@ class EpochSnapshot:
                           self._graph_stats(graph, events_applied))
 
     @staticmethod
-    def _graph_stats(graph, events_applied):
+    def _graph_stats(graph: Any, events_applied: int) -> dict[str, Any]:
         return {
             "events_applied": events_applied,
             "num_edges": graph.num_edges,
@@ -128,11 +137,11 @@ class EpochSnapshot:
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
-    def neighbors(self, v):
+    def neighbors(self, v: int) -> Sequence[int]:
         """Frozen adjacency row of node ``v`` (do not mutate)."""
         return self._rows[v]
 
-    def csr(self):
+    def csr(self) -> Any:
         """The snapshot's CSR artifact (None when numpy is missing).
 
         Built lazily, once, under the snapshot lock -- concurrent
@@ -150,7 +159,7 @@ class EpochSnapshot:
                     lambda v: rows[v])
             return self._csr
 
-    def cores_np(self):
+    def cores_np(self) -> Any:
         """The frozen cores as an int32 numpy view (None without numpy)."""
         if _np is None:
             return None
@@ -163,7 +172,7 @@ class EpochSnapshot:
     # ------------------------------------------------------------------
     # refcount protocol
     # ------------------------------------------------------------------
-    def acquire(self):
+    def acquire(self) -> "EpochSnapshot":
         """Pin the snapshot for reading; pairs with :meth:`release`."""
         with self._lock:
             if self._dropped:
@@ -172,7 +181,7 @@ class EpochSnapshot:
             self._refs += 1
         return self
 
-    def release(self):
+    def release(self) -> None:
         """Unpin; a retired snapshot drops on its last release."""
         with self._lock:
             if self._refs <= 0:
@@ -183,7 +192,7 @@ class EpochSnapshot:
         if drop:
             self._drop()
 
-    def retire(self):
+    def retire(self) -> None:
         """Mark superseded; drops now unless readers are still pinned."""
         with self._lock:
             if self._retired:
@@ -193,7 +202,7 @@ class EpochSnapshot:
         if drop:
             self._drop()
 
-    def _drop(self):
+    def _drop(self) -> None:
         """Free the buffers; fires ``on_drop`` exactly once."""
         self._dropped = True
         self._rows = None
@@ -204,21 +213,21 @@ class EpochSnapshot:
             callback(self)
 
     @property
-    def refcount(self):
+    def refcount(self) -> int:
         """Number of in-flight pins (diagnostics)."""
         return self._refs
 
     @property
-    def retired(self):
+    def retired(self) -> bool:
         """True once a newer epoch was published over this one."""
         return self._retired
 
     @property
-    def dropped(self):
+    def dropped(self) -> bool:
         """True once retired with no readers left (buffers freed)."""
         return self._dropped
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         state = ("dropped" if self._dropped
                  else "retired" if self._retired else "current")
         return "EpochSnapshot(epoch=%d, kmax=%d, refs=%d, %s)" % (
@@ -237,68 +246,68 @@ class SnapshotView:
 
     __slots__ = ("_service", "_snapshot", "_closed")
 
-    def __init__(self, service, snapshot):
+    def __init__(self, service: Any, snapshot: EpochSnapshot) -> None:
         self._service = service
         self._snapshot = snapshot
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------
-    def close(self):
+    def close(self) -> None:
         """Release the pinned snapshot (idempotent)."""
         if not self._closed:
             self._closed = True
             self._snapshot.release()
 
-    def __enter__(self):
+    def __enter__(self) -> "SnapshotView":
         return self
 
-    def __exit__(self, exc_type, exc, tb):
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         self.close()
         return False
 
     # -- coherent metadata --------------------------------------------------
     @property
-    def epoch(self):
+    def epoch(self) -> int:
         """The pinned epoch."""
         return self._snapshot.epoch
 
     @property
-    def snapshot(self):
+    def snapshot(self) -> EpochSnapshot:
         """The pinned :class:`EpochSnapshot` (diagnostics)."""
         return self._snapshot
 
     @property
-    def stats(self):
+    def stats(self) -> dict[str, Any]:
         """The pinned epoch's coherent stats triple (a copy)."""
         return dict(self._snapshot.stats)
 
     # -- the read API, bound to the pinned epoch ----------------------------
-    def _snap(self):
+    def _snap(self) -> EpochSnapshot:
         if self._closed:
             raise RuntimeError("read view was closed")
         return self._snapshot
 
-    def coreness(self, v):
+    def coreness(self, v: int) -> int:
         return self._service._coreness(self._snap(), v)
 
-    def coreness_many(self, nodes):
+    def coreness_many(self, nodes: Iterable[int]) -> list[int]:
         return self._service._coreness_many(self._snap(), nodes)
 
-    def kcore_members(self, k):
+    def kcore_members(self, k: int) -> list[int]:
         return self._service._kcore_members(self._snap(), k)
 
-    def kcore_subgraph(self, k):
+    def kcore_subgraph(self, k: int) -> Any:
         return self._service._kcore_subgraph(self._snap(), k)
 
-    def core_histogram(self):
+    def core_histogram(self) -> dict[int, int]:
         return self._service._core_histogram(self._snap())
 
-    def top_k(self, k):
+    def top_k(self, k: int) -> list[tuple[int, int]]:
         return self._service._top_k(self._snap(), k)
 
-    def degeneracy(self):
+    def degeneracy(self) -> int:
         return self._service._degeneracy(self._snap())
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "SnapshotView(epoch=%d, closed=%s)" % (
             self._snapshot.epoch, self._closed)

@@ -16,6 +16,7 @@ from repro.storage.graphstore import GraphStorage
 from repro.storage.memgraph import MemoryGraph, normalize_edges
 from repro.storage.partition import PartitionStore
 from repro.storage.shards import Shard, ShardedGraphStorage, shard_bounds
+from repro.storage.state import load_checkpoint, save_checkpoint
 
 __all__ = [
     "CSRGraph",
@@ -36,4 +37,6 @@ __all__ = [
     "Shard",
     "ShardedGraphStorage",
     "shard_bounds",
+    "load_checkpoint",
+    "save_checkpoint",
 ]

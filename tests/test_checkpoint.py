@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.maintenance.checkpoint import (
+from repro.storage.state import (
     load_checkpoint,
     save_checkpoint,
 )

@@ -22,7 +22,7 @@ import sys
 import pytest
 
 from repro.core.engines import available_engines
-from repro.core.maintenance.checkpoint import save_checkpoint
+from repro.storage.state import save_checkpoint
 from repro.errors import CorruptStorageError, ReproError
 from repro.service import CoreService
 from repro.service.journal import LEGACY_NAME, RECORD_SIZE, EventJournal
