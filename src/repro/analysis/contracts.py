@@ -154,6 +154,8 @@ METRIC_NAMES = frozenset({
     # shard executor plane (core.sharded.register_executor_metrics)
     "repro_executor_respawns",
     "repro_executor_processes",
+    "repro_executor_pool_forks",
+    "repro_shm_bytes",
     # tracing plane (obs.trace)
     "repro_span_seconds",
 })

@@ -78,8 +78,13 @@ def _cmd_stats(args):
 
 
 def _cmd_decompose(args):
-    if args.executor is not None and args.shards is None:
-        raise ReproError("--executor requires --shards")
+    if args.executor is not None and args.shards is None \
+            and args.algorithm != "emcore":
+        raise ReproError("--executor requires --shards (or "
+                         "--algorithm emcore)")
+    if args.shards is None and (args.balance != "node" or args.relabel):
+        raise ReproError("--balance/--relabel shape the sharded layout; "
+                         "they require --shards")
     storage = GraphStorage.open(args.graph)
     if args.shards is not None:
         if args.shards < 1:
@@ -93,10 +98,15 @@ def _cmd_decompose(args):
 
         result = sharded_semi_core_star(storage, args.shards,
                                         engine=args.engine,
-                                        executor=args.executor)
+                                        executor=args.executor,
+                                        balance=args.balance,
+                                        relabel=args.relabel or False)
     else:
+        extra = {}
+        if args.algorithm == "emcore" and args.executor is not None:
+            extra["executor"] = args.executor
         result = run_decomposition(args.algorithm, storage,
-                                   engine=args.engine)
+                                   engine=args.engine, **extra)
     rows = [
         ("algorithm", result.algorithm),
         ("engine", result.engine),
@@ -112,8 +122,12 @@ def _cmd_decompose(args):
         rows[1:1] = [
             ("shards", str(result.num_shards)),
             ("executor", result.executor),
+            ("balance", result.balance),
+            ("relabel", result.relabel or "off"),
             ("max shard rows", format_count(result.max_shard_nodes)),
             ("boundary rows", format_count(result.num_boundary)),
+            ("arc skew", "%.3f" % result.arc_skew),
+            ("halo bytes", format_bytes(result.halo_bytes)),
         ]
     print(format_table(("metric", "value"), rows))
     if args.output:
@@ -575,8 +589,18 @@ def build_parser():
                         "run per-shard SemiCore* passes with boundary "
                         "exchange (semicore* only)")
     p.add_argument("--executor", default=None, choices=executor_names(),
-                   help="how shard passes run (with --shards; default "
-                        "serial)")
+                   help="how shard passes run (with --shards, or the "
+                        "EM-Core partition phase; default serial)")
+    p.add_argument("--balance", default="node", choices=["node", "arc"],
+                   help="shard bound rule (with --shards): equal node "
+                        "ranges, or bounds cut on the cumulative degree "
+                        "array so owned-arc counts balance")
+    p.add_argument("--relabel", nargs="?", const="bfs", default=None,
+                   choices=["bfs", "degeneracy"],
+                   help="locality relabeling pre-pass (with --shards): "
+                        "build the shards in a neighborhood-clustering "
+                        "id space and inverse-map the cores out "
+                        "(default order when given bare: bfs)")
     p.add_argument("--output", help="write per-node core numbers here")
     p.set_defaults(func=_cmd_decompose)
 

@@ -20,10 +20,12 @@ reported model memory is that peak plus the O(n) bookkeeping arrays.
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from array import array
 
 from repro.core.result import DecompositionResult, io_delta, io_snapshot
+from repro.core.sharded import get_executor
 from repro.errors import GraphError
 from repro.obs.trace import span
 from repro.storage.partition import PartitionStore
@@ -75,8 +77,34 @@ def _partition_upper_bounds(records, deposit):
     return _peel_with_support(local_adj, support)
 
 
+class _ZeroDeposit:
+    """Stand-in deposit during partitioning, when every entry is zero.
+
+    It makes :func:`_partition_ub_task` a pure function of its records,
+    which is what lets the shard executors run upper-bound pseudo-peels
+    in worker processes without shipping the O(n) deposit array.
+    """
+
+    def __getitem__(self, v):
+        return 0
+
+
+_ZERO_DEPOSIT = _ZeroDeposit()
+
+
+def _partition_ub_task(records):
+    """Executor task: pseudo-peel one freshly written partition.
+
+    Runs during the partitioning pass only, where no node is finalized
+    yet and every deposit is zero -- so the task is self-contained and
+    any :mod:`repro.core.sharded` executor (serial, multiprocessing,
+    persistent) produces bit-identical upper bounds.
+    """
+    return _partition_upper_bounds(records, _ZERO_DEPOSIT)
+
+
 def em_core(storage, *, memory_budget_bytes=None, partition_arcs=None,
-            merge_partitions=True, engine=None):
+            merge_partitions=True, engine=None, executor=None):
     """Run EMCore against a storage-backed graph.
 
     Parameters
@@ -97,6 +125,14 @@ def em_core(storage, *, memory_budget_bytes=None, partition_arcs=None,
         ``"python"``, the reference implementation below).  Every engine
         returns bit-identical results, including the write I/Os of the
         partition store; see ``docs/ARCHITECTURE.md``.
+    executor:
+        A :mod:`repro.core.sharded` shard executor (``None`` = serial, a
+        registered name, or an object with ``run(fn, tasks)``).  The
+        partitioning pass's upper-bound pseudo-peels -- pure functions
+        of each freshly written partition -- run through it in waves of
+        one task per worker, so EMCore scales on the same machinery as
+        the sharded driver.  Results are bit-identical under every
+        executor; partitions are still written in scan order.
     """
     if engine is not None and engine != "python":
         from repro.core.engines import engine_implementation
@@ -105,6 +141,7 @@ def em_core(storage, *, memory_budget_bytes=None, partition_arcs=None,
             storage, memory_budget_bytes=memory_budget_bytes,
             partition_arcs=partition_arcs,
             merge_partitions=merge_partitions,
+            executor=executor,
         )
     started = time.perf_counter()
     snapshot = io_snapshot(storage)
@@ -126,42 +163,74 @@ def em_core(storage, *, memory_budget_bytes=None, partition_arcs=None,
 
     # ------------------------------------------------------------------
     # Partitioning pass: sequential scan, contiguous ranges, local ubs.
+    # Partitions are written in scan order; their upper-bound pseudo-
+    # peels (pure functions of the records -- deposits are all zero
+    # here) drain through the executor in waves of one task per worker,
+    # so at most ``wave`` partitions' records are resident at once.
     # ------------------------------------------------------------------
+    exec_obj = get_executor(executor)
+    owns_executor = executor is None or isinstance(executor, str)
+    if getattr(exec_obj, "name", "serial") == "serial":
+        wave = 1
+    else:
+        wave = max(1, getattr(exec_obj, "processes", None)
+                   or (os.cpu_count() or 1))
     pending = []
     pending_arcs = 0
+    pending_ubs = []  # (pid, size, records) awaiting their pseudo-peel
+
+    def drain_ubs():
+        nonlocal computations
+        if not pending_ubs:
+            return
+        batch = pending_ubs[:]
+        del pending_ubs[:]
+        results = exec_obj.run(_partition_ub_task,
+                               [records for _, _, records in batch])
+        for (pid, size, records), values in zip(batch, results):
+            computations += len(values)
+            for v, bound in values.items():
+                ub[v] = bound
+            metas[pid] = {
+                "bytes": size,
+                "max_ub": max(values.values()),
+                "nodes": len(records),
+            }
 
     def flush_partition():
-        nonlocal pending, pending_arcs, computations
+        nonlocal pending, pending_arcs
         if not pending:
             return
-        values = _partition_upper_bounds(pending, deposit)
-        computations += len(values)
-        for v, bound in values.items():
-            ub[v] = bound
         pid, size = store.write(pending)
-        metas[pid] = {
-            "bytes": size,
-            "max_ub": max(values.values()),
-            "nodes": len(pending),
-        }
+        pending_ubs.append((pid, size, pending))
         pending = []
         pending_arcs = 0
+        if len(pending_ubs) >= wave:
+            drain_ubs()
 
-    with span("emcore.partition",
-              io=getattr(storage, "io_stats", None)) as part_span:
-        for v, nbrs in storage.iter_adjacency():
-            if len(nbrs) == 0:
-                core[v] = 0
-                continue
-            if pending_arcs and pending_arcs + len(nbrs) > partition_arcs:
-                flush_partition()
-            # The scan yields fresh adjacency arrays; keeping them avoids
-            # the per-edge Python list rebuild the partition writer used
-            # to do.
-            pending.append((v, nbrs))
-            pending_arcs += len(nbrs)
-        flush_partition()
-        part_span.annotate(partitions=len(metas))
+    try:
+        with span("emcore.partition",
+                  io=getattr(storage, "io_stats", None)) as part_span:
+            for v, nbrs in storage.iter_adjacency():
+                if len(nbrs) == 0:
+                    core[v] = 0
+                    continue
+                if pending_arcs and \
+                        pending_arcs + len(nbrs) > partition_arcs:
+                    flush_partition()
+                # The scan yields fresh adjacency arrays; keeping them
+                # avoids the per-edge Python list rebuild the partition
+                # writer used to do.
+                pending.append((v, nbrs))
+                pending_arcs += len(nbrs)
+            flush_partition()
+            drain_ubs()
+            part_span.annotate(partitions=len(metas))
+    finally:
+        if owns_executor:
+            closer = getattr(exec_obj, "close", None)
+            if closer is not None:
+                closer()
 
     # ------------------------------------------------------------------
     # Top-down range computation.

@@ -34,12 +34,14 @@ evolve identically to the reference run.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 
 from repro.core.engines.numpy_engine import _as_core_array
 from repro.core.result import DecompositionResult, io_delta, io_snapshot
+from repro.core.sharded import get_executor
 from repro.errors import GraphError
 from repro.storage.csr import CSRGraph
 from repro.storage.partition import PartitionStore
@@ -134,8 +136,32 @@ class _Renumber:
         return local_indptr, local_indices, local_deg
 
 
+def _partition_ub_task_numpy(task):
+    """Executor task: pseudo-peel one partition from its CSR slices.
+
+    ``task`` is ``(part, sub_indptr, sub_indices, part_degrees)``.
+    ``part`` is sorted ascending, so a ``searchsorted`` rebuild of the
+    local id mapping reproduces :meth:`_Renumber.induce` exactly without
+    the O(n) scratch array -- the task stays a pure, picklable function
+    of its slices (deposits are all zero during partitioning), which is
+    what lets any shard executor run it in a worker process.
+    """
+    part, sub_indptr, sub_indices, part_degrees = task
+    mapped = np.searchsorted(part, sub_indices)
+    in_range = mapped < len(part)
+    keep = np.zeros(len(sub_indices), dtype=bool)
+    keep[in_range] = part[mapped[in_range]] == sub_indices[in_range]
+    row = np.repeat(np.arange(len(part), dtype=np.int64),
+                    np.diff(sub_indptr))
+    local_deg = np.bincount(row[keep], minlength=len(part))
+    l_indptr = np.zeros(len(part) + 1, dtype=np.int64)
+    np.cumsum(local_deg, out=l_indptr[1:])
+    external = part_degrees - local_deg
+    return _peel_values(l_indptr, mapped[keep], local_deg + external)
+
+
 def em_core_numpy(storage, *, memory_budget_bytes=None, partition_arcs=None,
-                  merge_partitions=True):
+                  merge_partitions=True, executor=None):
     """Vectorized Algorithm 2 with reference-identical semantics."""
     started = time.perf_counter()
     snapshot = io_snapshot(storage)
@@ -168,39 +194,73 @@ def em_core_numpy(storage, *, memory_budget_bytes=None, partition_arcs=None,
     core[degrees == 0] = 0
     nonzero = np.flatnonzero(degrees)
 
+    # Upper-bound pseudo-peels drain through the shard executor in
+    # waves of one task per worker (deposits are all zero here, so the
+    # tasks are pure functions of their CSR slices); partitions are
+    # still written in scan order, keeping pids and metas identical to
+    # the serial run.
+    exec_obj = get_executor(executor)
+    owns_executor = executor is None or isinstance(executor, str)
+    if getattr(exec_obj, "name", "serial") == "serial":
+        wave = 1
+    else:
+        wave = max(1, getattr(exec_obj, "processes", None)
+                   or (os.cpu_count() or 1))
+    pending_ubs = []  # (pid, size, part, sub_indptr, sub_indices)
+
+    def drain_ubs():
+        nonlocal computations
+        if not pending_ubs:
+            return
+        batch = pending_ubs[:]
+        del pending_ubs[:]
+        results = exec_obj.run(
+            _partition_ub_task_numpy,
+            [(part, sub_indptr, sub_indices, degrees[part])
+             for _, _, part, sub_indptr, sub_indices in batch])
+        for (pid, size, part, _, _), values in zip(batch, results):
+            computations += len(part)
+            ub[part] = values
+            metas[pid] = {
+                "bytes": size,
+                "max_ub": int(values.max()),
+                "nodes": len(part),
+            }
+
     bounds = np.zeros(len(nonzero) + 1, dtype=np.int64)
     np.cumsum(degrees[nonzero], out=bounds[1:])
     start = 0
-    while start < len(nonzero):
-        # Largest prefix whose total adjacency fits partition_arcs; a
-        # single oversized adjacency forms its own partition -- exactly
-        # the reference's "flush before the overflowing node" rule.
-        stop = int(np.searchsorted(bounds, bounds[start] + partition_arcs,
-                                   side="right")) - 1
-        stop = min(max(stop, start + 1), len(nonzero))
-        part = nonzero[start:stop]
-        start = stop
+    try:
+        while start < len(nonzero):
+            # Largest prefix whose total adjacency fits partition_arcs;
+            # a single oversized adjacency forms its own partition --
+            # exactly the reference's "flush before the overflowing
+            # node" rule.
+            stop = int(np.searchsorted(bounds,
+                                       bounds[start] + partition_arcs,
+                                       side="right")) - 1
+            stop = min(max(stop, start + 1), len(nonzero))
+            part = nonzero[start:stop]
+            start = stop
 
-        sub_indptr = np.zeros(len(part) + 1, dtype=np.int64)
-        np.cumsum(degrees[part], out=sub_indptr[1:])
-        # Members are a contiguous id range (zero-degree nodes between
-        # them hold no arcs), so their payload is one snapshot slice.
-        sub_indices = g_indices[g_indptr[part[0]]:g_indptr[part[-1] + 1]]
+            sub_indptr = np.zeros(len(part) + 1, dtype=np.int64)
+            np.cumsum(degrees[part], out=sub_indptr[1:])
+            # Members are a contiguous id range (zero-degree nodes
+            # between them hold no arcs), so their payload is one
+            # snapshot slice.
+            sub_indices = g_indices[g_indptr[part[0]]:g_indptr[part[-1] + 1]]
 
-        l_indptr, l_indices, local_deg = renumber.induce(
-            part, sub_indptr, sub_indices)
-        external = degrees[part] - local_deg
-        values = _peel_values(l_indptr, l_indices,
-                              local_deg + external + deposit[part])
-        computations += len(part)
-        ub[part] = values
-        pid, size = store.write_bytes(encode_csr(part, sub_indptr,
-                                                 sub_indices))
-        metas[pid] = {
-            "bytes": size,
-            "max_ub": int(values.max()),
-            "nodes": len(part),
-        }
+            pid, size = store.write_bytes(encode_csr(part, sub_indptr,
+                                                     sub_indices))
+            pending_ubs.append((pid, size, part, sub_indptr, sub_indices))
+            if len(pending_ubs) >= wave:
+                drain_ubs()
+        drain_ubs()
+    finally:
+        if owns_executor:
+            closer = getattr(exec_obj, "close", None)
+            if closer is not None:
+                closer()
 
     # ------------------------------------------------------------------
     # Top-down range computation (identical round structure).

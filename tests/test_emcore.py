@@ -128,6 +128,43 @@ class TestPaperCriticisms:
         assert tight.iterations >= loose.iterations
 
 
+class TestPartitionExecutors:
+    """The partition phase rides the shard-executor protocol: its
+    pseudo-peel upper bounds are pure functions of the partition
+    records, so every executor must produce bit-identical results."""
+
+    def test_executor_parity(self, rng):
+        n = 90
+        edges = make_random_edges(rng, n, 0.12)
+        expected = nx_core_numbers(edges, n)
+        runs = {}
+        for executor in ("serial", "multiprocessing", "persistent"):
+            storage = GraphStorage.from_edges(edges, n)
+            runs[executor] = em_core(storage, partition_arcs=32,
+                                     memory_budget_bytes=1024,
+                                     executor=executor)
+            assert list(runs[executor].cores) == expected, executor
+        serial = runs["serial"]
+        for executor in ("multiprocessing", "persistent"):
+            other = runs[executor]
+            assert other.iterations == serial.iterations
+            assert other.io == serial.io
+
+    def test_executor_object_is_not_closed_by_emcore(self, paper_graph):
+        from repro.core.sharded import MultiprocessingShardExecutor
+
+        edges, n = paper_graph
+        executor = MultiprocessingShardExecutor(processes=2)
+        try:
+            for _ in range(2):
+                storage = GraphStorage.from_edges(edges, n)
+                result = em_core(storage, partition_arcs=8,
+                                 executor=executor)
+                assert list(result.cores) == [3, 3, 3, 3, 2, 2, 2, 2, 1]
+        finally:
+            executor.close()
+
+
 class TestPathologicalPartitioning:
     def test_one_node_per_partition(self, paper_graph):
         """partition_arcs=1 forces singleton partitions."""

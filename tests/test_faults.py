@@ -16,6 +16,7 @@ import pytest
 from repro.core.engines import engine_implementation, register_engine
 from repro.core.sharded import (
     MultiprocessingShardExecutor,
+    PersistentShardExecutor,
     sharded_semi_core_star,
 )
 from repro.errors import ExecutorError, ReproError, StorageError
@@ -371,3 +372,93 @@ class TestExecutorFaultTolerance:
             executor.close()
             from repro.core.engines import _REGISTRY
             _REGISTRY.pop("kill-once", None)
+
+
+def _shm_segments():
+    import glob
+    return glob.glob("/dev/shm/repro_shm*")
+
+
+class TestPersistentExecutorFaults:
+    def test_killed_worker_raises_typed_error_not_hang(self):
+        executor = PersistentShardExecutor(
+            processes=2, task_timeout=30.0, max_retries=0)
+        try:
+            with pytest.raises(ExecutorError, match="died mid-round"):
+                executor.run(_die_by_sigkill, [1, 2])
+        finally:
+            executor.close()
+
+    def test_dead_worker_respawned_in_place_without_pool_refork(
+            self, medium_random_graph, tmp_path, monkeypatch):
+        """Acceptance: SIGKILL mid-pass; the worker is replaced in
+        place, the round retried, the pool never re-forked, cores
+        bit-identical -- and no shared-memory segment leaks."""
+        edges, n = medium_random_graph
+        expected = nx_core_numbers(edges, n)
+        monkeypatch.setenv("REPRO_TEST_KILL_SENTINEL",
+                           str(tmp_path / "killed"))
+        register_engine("kill-once", "fault-injection test double",
+                        lambda: {"shard-pass": _kill_once_shard_pass})
+        executor = PersistentShardExecutor(
+            processes=2, task_timeout=60.0, max_retries=2,
+            retry_backoff=0.0)
+        try:
+            result = sharded_semi_core_star(
+                GraphStorage.from_edges(edges, n), 3,
+                engine="kill-once", executor=executor)
+            assert list(result.cores) == expected
+            assert executor.respawns >= 1
+            assert executor.pool_forks == 1  # no per-round re-fork
+            assert os.path.exists(str(tmp_path / "killed"))
+        finally:
+            executor.close()
+            from repro.core.engines import _REGISTRY
+            _REGISTRY.pop("kill-once", None)
+        assert _shm_segments() == []
+
+    def test_no_segment_leak_after_clean_run_and_close(self):
+        from repro.datasets.generators import social_graph
+
+        edges, n = social_graph(120, 2, 6, seed=5)
+        executor = PersistentShardExecutor(processes=2)
+        try:
+            sharded_semi_core_star(GraphStorage.from_edges(edges, n), 3,
+                                   executor=executor)
+            # The driver already closed the plan with the executor.
+            assert _shm_segments() == []
+        finally:
+            executor.close()
+        assert _shm_segments() == []
+
+    def test_no_segment_leak_after_worker_crash(self, paper_graph):
+        """An exception mid-round must not orphan /dev/shm entries."""
+        edges, n = paper_graph
+
+        def crashing_pass(graph, *, initial_cores, frozen_from):
+            raise ValueError("shard pass boom")
+
+        register_engine("crashy-shm", "failure-injection test double",
+                        lambda: {"shard-pass": crashing_pass})
+        try:
+            with pytest.raises(ValueError, match="shard pass boom"):
+                sharded_semi_core_star(
+                    GraphStorage.from_edges(edges, n), 2,
+                    engine="crashy-shm", executor="persistent")
+        finally:
+            from repro.core.engines import _REGISTRY
+            _REGISTRY.pop("crashy-shm", None)
+        assert _shm_segments() == []
+
+    def test_retries_exhausted_closes_pool_and_segment(self):
+        executor = PersistentShardExecutor(
+            processes=2, task_timeout=30.0, max_retries=1,
+            retry_backoff=0.0)
+        try:
+            with pytest.raises(ExecutorError):
+                executor.run(_die_by_sigkill, [1])
+            # One in-place replacement per attempt (initial + 1 retry).
+            assert executor.respawns == 2
+        finally:
+            executor.close()
+        assert _shm_segments() == []

@@ -14,6 +14,7 @@ from repro.core.engines import available_engines, register_engine
 from repro.core.semicore_star import semi_core_star
 from repro.core.sharded import (
     MultiprocessingShardExecutor,
+    PersistentShardExecutor,
     SerialShardExecutor,
     executor_names,
     get_executor,
@@ -47,9 +48,12 @@ def reference_cores(edges, n):
     return list(semi_core_star(GraphStorage.from_edges(edges, n)).cores)
 
 
+EXECUTOR_NAMES = ("serial", "multiprocessing", "persistent")
+
+
 class TestParity:
     @pytest.mark.parametrize("engine", ENGINES)
-    @pytest.mark.parametrize("executor", ["serial", "multiprocessing"])
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
     def test_paper_graph_all_shard_counts(self, engine, executor):
         edges, n = paper_example_graph()
         expected = [3, 3, 3, 3, 2, 2, 2, 2, 1]
@@ -94,7 +98,7 @@ class TestParity:
     def test_file_backed_shards(self, tmp_path):
         edges, n = social_graph(150, 2, 8, seed=2)
         expected = reference_cores(edges, n)
-        for executor in ("serial", "multiprocessing"):
+        for executor in EXECUTOR_NAMES:
             storage = GraphStorage.from_edges(
                 edges, n, path=str(tmp_path / ("g_" + executor)))
             result = sharded_semi_core_star(
@@ -103,21 +107,65 @@ class TestParity:
             assert list(result.cores) == expected
 
 
+class TestBalanceRelabelParity:
+    """Acceptance: bit-identical cores for every {balance, relabel,
+    executor, engine} combination, proved on a hub-heavy proxy."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    def test_full_matrix_on_hub_heavy_proxy(self, engine, executor):
+        storage = load_dataset("webbase", scale=0.03)
+        expected = list(semi_core_star(storage).cores)
+        for balance in ("node", "arc"):
+            for relabel in (False, "bfs", "degeneracy"):
+                graph = load_dataset("webbase", scale=0.03)
+                result = sharded_semi_core_star(
+                    graph, 4, engine=engine, executor=executor,
+                    balance=balance, relabel=relabel)
+                assert list(result.cores) == expected, (balance, relabel)
+                assert result.balance == balance
+                assert result.relabel == (relabel or None)
+
+    def test_arc_balance_meets_the_skew_bound(self):
+        storage = load_dataset("webbase", scale=0.05)
+        result = sharded_semi_core_star(storage, 8, balance="arc")
+        assert result.arc_skew <= 1.15
+        node = sharded_semi_core_star(
+            load_dataset("webbase", scale=0.05), 8, balance="node")
+        assert list(result.cores) == list(node.cores)
+        assert result.arc_skew < node.arc_skew
+
+    def test_relabel_shrinks_reported_halo_bytes(self):
+        plain = sharded_semi_core_star(
+            load_dataset("webbase", scale=0.05), 6)
+        relabeled = sharded_semi_core_star(
+            load_dataset("webbase", scale=0.05), 6, relabel="bfs")
+        assert list(relabeled.cores) == list(plain.cores)
+        assert relabeled.halo_bytes < plain.halo_bytes
+
+    def test_unknown_balance_rejected(self, paper_storage):
+        with pytest.raises(ReproError, match="balance"):
+            sharded_semi_core_star(paper_storage, 2, balance="entropy")
+
+
 class TestExecutorContract:
-    def test_serial_and_multiprocessing_identical(self):
+    def test_all_executors_identical(self):
         """Cores, rounds, computations and IOStats must all agree."""
         for seed, num_shards in ((1, 2), (5, 4), (9, 7)):
             edges, n = social_graph(300, 2, 8, seed=seed)
             runs = {}
-            for executor in ("serial", "multiprocessing"):
+            for executor in EXECUTOR_NAMES:
                 storage = GraphStorage.from_edges(edges, n)
                 runs[executor] = sharded_semi_core_star(
                     storage, num_shards, executor=executor)
-            serial, multi = runs["serial"], runs["multiprocessing"]
-            assert list(serial.cores) == list(multi.cores)
-            assert serial.iterations == multi.iterations
-            assert serial.node_computations == multi.node_computations
-            assert serial.io == multi.io  # the full IOStats totals
+            serial = runs["serial"]
+            for executor in EXECUTOR_NAMES[1:]:
+                other = runs[executor]
+                assert list(serial.cores) == list(other.cores), executor
+                assert serial.iterations == other.iterations
+                assert serial.node_computations == \
+                    other.node_computations
+                assert serial.io == other.io  # the full IOStats totals
 
     @requires_numpy
     def test_executor_identity_under_numpy_engine(self):
@@ -222,6 +270,121 @@ class TestExecutorContract:
     def test_unknown_engine_rejected_before_build(self, paper_storage):
         with pytest.raises(ReproError, match="unknown engine"):
             sharded_semi_core_star(paper_storage, 2, engine="fortran")
+
+
+class TestPersistentExecutor:
+    def test_forks_exactly_once_per_decomposition(self):
+        """Bench-smoke acceptance: one pool spawn, however many rounds."""
+        edges, n = social_graph(200, 2, 6, seed=4)
+        executor = PersistentShardExecutor(processes=2)
+        storage = GraphStorage.from_edges(edges, n)
+        result = sharded_semi_core_star(storage, 3, executor=executor)
+        assert result.iterations > 1
+        assert result.pool_forks == 1
+        assert executor.pool_forks == 1
+        assert executor.respawns == 0
+
+    def test_reusable_after_close_re_forks(self):
+        """The driver closes the pool each run; reuse must re-fork."""
+        executor = PersistentShardExecutor(processes=2)
+        edges, n = social_graph(120, 2, 6, seed=6)
+        expected = reference_cores(edges, n)
+        for run in (1, 2):
+            storage = GraphStorage.from_edges(edges, n)
+            result = sharded_semi_core_star(storage, 3,
+                                            executor=executor)
+            assert list(result.cores) == expected
+            assert executor.pool_forks == run
+
+    def test_shm_bytes_metric_tracks_the_plan(self):
+        from repro.obs import MetricsRegistry
+        from repro.core.sharded import register_executor_metrics
+
+        executor = PersistentShardExecutor(processes=2)
+        registry = MetricsRegistry()
+        register_executor_metrics(executor, registry)
+        body = registry.render_prometheus()
+        assert "repro_executor_pool_forks 0" in body
+        assert "repro_shm_bytes 0" in body
+        edges, n = social_graph(120, 2, 6, seed=6)
+        storage = GraphStorage.from_edges(edges, n)
+        sharded_semi_core_star(storage, 3, executor=executor)
+        body = registry.render_prometheus()
+        assert "repro_executor_pool_forks 1" in body
+        # The plan is detached when the driver closes the executor.
+        assert "repro_shm_bytes 0" in body
+
+    def test_invalid_tuning_rejected(self):
+        with pytest.raises(ReproError, match="processes"):
+            PersistentShardExecutor(processes=0)
+        with pytest.raises(ReproError, match="task_timeout"):
+            PersistentShardExecutor(task_timeout=0.0)
+
+
+class TestGatherVectorization:
+    def _reference_gather(self, boundary_ids, bounds, estimates):
+        """The pre-vectorization per-id gather: one read per row."""
+        from array import array
+        from bisect import bisect_right
+
+        from repro.core.sharded import (
+            ESTIMATE_ENTRY_SIZE,
+            _ESTIMATE_TYPECODE,
+        )
+
+        values = array(_ESTIMATE_TYPECODE)
+        for g in boundary_ids:
+            owner = bisect_right(bounds, int(g)) - 1
+            data = estimates[owner].read_at(
+                (int(g) - bounds[owner]) * ESTIMATE_ENTRY_SIZE,
+                ESTIMATE_ENTRY_SIZE)
+            values.frombytes(data)
+        return values
+
+    def test_coalesced_gather_matches_per_id_reads(self):
+        """Same values AND same charged I/O as the per-id loop."""
+        import random
+        from array import array
+
+        from repro.core.sharded import (
+            ESTIMATE_ENTRY_SIZE,
+            _ESTIMATE_TYPECODE,
+            _gather_boundary,
+        )
+        from repro.storage.blockio import IOStats, MemoryBlockDevice
+        from repro.storage.shards import shard_bounds
+
+        rng = random.Random(13)
+        n, num_shards = 257, 5
+        bounds = shard_bounds(n, num_shards)
+        table = [rng.randint(0, 99) for _ in range(n)]
+        for trial in range(8):
+            ids = sorted(rng.sample(range(n),
+                                    rng.randint(0, n)))
+            runs = {}
+            for fn in ("vector", "reference"):
+                stats = IOStats()
+                devices = []
+                for a, b in zip(bounds, bounds[1:]):
+                    device = MemoryBlockDevice(stats=stats)
+                    device.write_at(0, array(
+                        _ESTIMATE_TYPECODE, table[a:b]).tobytes())
+                    device.drop_cache()
+                    stats.reset()
+                    devices.append(device)
+                gather = (_gather_boundary if fn == "vector"
+                          else self._reference_gather)
+                values = gather(array("q", ids), bounds, devices)
+                runs[fn] = (list(values), stats.read_ios,
+                            stats.bytes_read)
+            assert runs["vector"][0] == [table[g] for g in ids], trial
+            # The I/O-model metric -- charged block reads -- must match
+            # the per-id loop exactly: coalescing may only merge reads
+            # of blocks the one-block cache would have served anyway.
+            assert runs["vector"][1] == runs["reference"][1], trial
+            # Coalesced requests cover whole runs, so the bytes actually
+            # requested from the backend can only grow.
+            assert runs["vector"][2] >= runs["reference"][2], trial
 
 
 class TestMemoryBound:
